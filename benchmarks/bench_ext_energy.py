@@ -1,0 +1,51 @@
+"""Extension — energy accounting (CoEdge's lens on the same system).
+
+Quantifies the latency<->energy trade-off the paper leaves implicit:
+spatial partitioning buys latency with redundant FDSP compute and radio
+energy, while layer-wise GPU offload is fast *and* cheap for the Pi but
+expensive at the wall socket.
+"""
+
+import pytest
+
+from repro.devices import desktop_gtx1080, energy_of_report, rpi4
+from repro.models import get_model
+from repro.netsim import Cluster, NetworkCondition
+from repro.partition import (Grid, layerwise_split_plan, simulate_latency,
+                             single_device_plan, spatial_plan)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_energy_latency_tradeoff(benchmark):
+    g = get_model("resnet50")
+    swarm = Cluster([rpi4() for _ in range(5)],
+                    NetworkCondition((500.0,) * 4, (5.0,) * 4))
+    augmented = Cluster([rpi4(), desktop_gtx1080()],
+                        NetworkCondition((400.0,), (5.0,)))
+
+    def run():
+        rows = {}
+        plans = {
+            "1 Pi (local)": (swarm, single_device_plan(g)),
+            "4 Pis (2x2 FDSP)": (swarm, spatial_plan(g, Grid(2, 2),
+                                                     [0, 1, 2, 3])),
+            "Pi -> GPU offload": (augmented, layerwise_split_plan(g, 0)),
+        }
+        for name, (cluster, plan) in plans.items():
+            rep = simulate_latency(g, plan, cluster)
+            er = energy_of_report(rep, cluster.devices)
+            rows[name] = (rep.total_s, er.total_j, er.network_j)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Extension: energy vs latency (ResNet50) ===")
+    print(f"{'deployment':<20s}{'latency':>10s}{'energy':>10s}{'radio':>10s}")
+    for name, (lat, e, net) in rows.items():
+        print(f"{name:<20s}{lat * 1e3:8.0f}ms{e:9.1f}J{net:9.3f}J")
+
+    lat1, e1, _ = rows["1 Pi (local)"]
+    lat4, e4, _ = rows["4 Pis (2x2 FDSP)"]
+    latg, eg, _ = rows["Pi -> GPU offload"]
+    assert lat4 < lat1 and latg < lat1          # both offloads are faster
+    assert e4 > e1 * 0.8                        # swarm pays redundant work
+    assert eg > e1                              # the 220 W GPU costs watts

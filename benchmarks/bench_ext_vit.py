@@ -1,0 +1,56 @@
+"""Extension — Vision Transformer distributed inference.
+
+Sec. 4.1 of the paper: "this spatial partitioning strategy can also be
+applied to other DNN models such as Vision Transformers, where different
+image patches are sent to different devices for parallel attention
+computation."  This bench quantifies that claim on the swarm scenario:
+patch-parallel execution of ViT-S/16 vs single-device and layer-wise
+splits across the bandwidth range, with fp32 and int8 K/V exchange.
+"""
+
+import pytest
+
+from repro.devices import rpi4
+from repro.models import vit_small_16
+from repro.netsim import Cluster, NetworkCondition
+from repro.partition import (Grid, layerwise_split_plan, simulate_latency,
+                             single_device_plan, spatial_plan)
+
+BANDWIDTHS = (5.0, 20.0, 100.0, 500.0, 1000.0)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_vit_patch_parallel_tradeoff(benchmark):
+    v = vit_small_16()
+
+    def run():
+        rows = {}
+        for bw in BANDWIDTHS:
+            cl = Cluster([rpi4() for _ in range(5)],
+                         NetworkCondition((bw,) * 4, (2.0,) * 4))
+            single = simulate_latency(v, single_device_plan(v), cl).total_s
+            split = simulate_latency(
+                v, layerwise_split_plan(v, len(v) // 2), cl).total_s
+            pp32 = simulate_latency(
+                v, spatial_plan(v, Grid(2, 2), [0, 1, 2, 3], bits=32),
+                cl).total_s
+            pp8 = simulate_latency(
+                v, spatial_plan(v, Grid(2, 2), [0, 1, 2, 3], bits=8),
+                cl).total_s
+            rows[bw] = (single, split, pp32, pp8)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Extension: ViT-S/16 on a 5-Pi swarm (latency, s) ===")
+    print(f"{'bw Mbps':>8s}{'single':>9s}{'split':>9s}"
+          f"{'patch-par fp32':>15s}{'patch-par int8':>15s}")
+    for bw, (s, sp, p32, p8) in rows.items():
+        print(f"{bw:8.0f}{s:9.2f}{sp:9.2f}{p32:15.2f}{p8:15.2f}")
+
+    # Patch parallelism wins clearly on fast links...
+    s, _, p32, _ = rows[1000.0]
+    assert p32 < s / 2.5
+    # ...its advantage shrinks as links slow (global K/V exchange)...
+    assert rows[5.0][2] > rows[1000.0][2] * 1.5
+    # ...and int8 K/V exchange recovers part of the loss.
+    assert rows[5.0][3] < rows[5.0][2]

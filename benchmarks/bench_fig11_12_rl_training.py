@@ -1,0 +1,50 @@
+"""Figs. 11 & 12 — RL policy training curves.
+
+Reproduces the four training curves (GCSL, PPO, Murmuration = SUPREME
+without pruning/mutation, full SUPREME) on both scenarios, reporting
+average validation reward (Fig. 11) and normalized SLO compliance rate
+(Fig. 12) over training steps.
+
+Paper shape: SUPREME >> Murmuration-basic > GCSL >> PPO in both reward
+and compliance; SUPREME reaches high compliance with relatively little
+data.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.devices import desktop_gtx1080, rpi4
+from repro.eval import format_training_curves, run_training_curves
+
+STEPS = 20_000 if full_scale() else 800
+EVAL_EVERY = 2_000 if full_scale() else 200
+
+
+def _run(devices, scenario: str):
+    histories = run_training_curves(devices, total_steps=STEPS,
+                                    eval_every=EVAL_EVERY, seed=0)
+    print(f"\n=== Fig 11/12 ({scenario}) ===")
+    print(format_training_curves(histories))
+    return histories
+
+
+@pytest.mark.benchmark(group="fig11-12")
+def test_fig11a_augmented_training(benchmark):
+    histories = benchmark.pedantic(
+        lambda: _run([rpi4(), desktop_gtx1080()], "augmented computing"),
+        rounds=1, iterations=1)
+    final = {k: h.avg_reward[-1] for k, h in histories.items()}
+    # Paper ordering: SUPREME on top, PPO at the bottom.
+    assert final["SUPREME (Ours)"] >= final["PPO"]
+    assert final["SUPREME (Ours)"] >= final["GCSL"] - 0.05
+
+
+@pytest.mark.benchmark(group="fig11-12")
+def test_fig11b_swarm_training(benchmark):
+    histories = benchmark.pedantic(
+        lambda: _run([rpi4() for _ in range(5)], "device swarm"),
+        rounds=1, iterations=1)
+    final = {k: h.avg_reward[-1] for k, h in histories.items()}
+    assert final["SUPREME (Ours)"] >= final["PPO"]

@@ -1,0 +1,48 @@
+"""Fig. 14 — Device swarm: accuracy vs bandwidth per latency SLO
+(delay fixed at 20 ms, one of four remote Pis' bandwidth swept).
+
+Paper shape: at loose SLOs (2000 ms) Murmuration runs its largest
+submodels (~78+ %); as the SLO tightens the achievable accuracy drops
+but coverage persists; ADCNN+heavy models qualify only at high
+bandwidth and loose SLOs.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.eval import fig14_swarm_accuracy, format_accuracy_grid
+from repro.netsim import SWARM_BANDWIDTHS
+
+if full_scale():
+    SLOS = (2000.0, 1000.0, 600.0, 500.0, 400.0)
+    BWS = SWARM_BANDWIDTHS
+else:
+    SLOS = (2000.0, 600.0, 400.0)
+    BWS = (5.0, 50.0, 200.0, 500.0)
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_swarm_accuracy(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig14_swarm_accuracy(latency_slos_ms=SLOS, bandwidths=BWS),
+        rounds=1, iterations=1)
+    print("\n=== Fig 14: swarm accuracy by (latency SLO, bandwidth) ===")
+    print(format_accuracy_grid(data, row_label="slo_ms", col_label="bw"))
+
+    ours = data["Murmuration (Ours)"]
+    # Coverage: Murmuration qualifies everywhere at the loosest SLO.
+    assert all(p.satisfied for (slo, bw), p in ours.items()
+               if slo == max(SLOS))
+    # Monotone: tighter SLO never yields higher accuracy at same bw.
+    for bw in BWS:
+        accs = [ours[(slo, bw)].accuracy for slo in sorted(SLOS)
+                if ours[(slo, bw)].satisfied]
+        assert accs == sorted(accs)
+    # At the loose SLO Murmuration reaches its big submodels.
+    assert max(p.accuracy for (slo, bw), p in ours.items()
+               if slo == max(SLOS)) > 77.5
+    # Murmuration beats every qualifying baseline at every point.
+    for cond, p in ours.items():
+        for m, pts in data.items():
+            if m != "Murmuration (Ours)" and pts[cond].satisfied:
+                assert p.satisfied and p.accuracy >= pts[cond].accuracy - 1e-9

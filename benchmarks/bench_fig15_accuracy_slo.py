@@ -1,0 +1,50 @@
+"""Fig. 15 — Inference latency under an accuracy SLO (augmented
+computing, one subplot per bandwidth).
+
+Paper shape: Murmuration's latency curve rises as the accuracy
+constraint tightens and sits below the fixed-model Neurosurgeon
+baselines across the covered range — up to 6.7x lower at the highest
+accuracies where only heavy fixed models qualify.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.eval import fig15_accuracy_slo_latency, format_latency_grid
+from repro.netsim import AUGMENTED_BANDWIDTHS
+
+if full_scale():
+    BWS = AUGMENTED_BANDWIDTHS
+    ACCS = (72.0, 73.0, 74.0, 75.0, 76.0, 77.0, 78.0, 78.5)
+else:
+    BWS = (50.0, 200.0, 400.0)
+    ACCS = (72.0, 74.0, 76.0, 77.0, 78.0)
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15_latency_under_accuracy_slo(benchmark):
+    data = benchmark.pedantic(
+        lambda: fig15_accuracy_slo_latency(accuracy_slos=ACCS,
+                                           bandwidths=BWS),
+        rounds=1, iterations=1)
+    print("\n=== Fig 15: latency (ms) under accuracy SLOs ===")
+    print(format_latency_grid(data))
+
+    ours = data["Murmuration (Ours)"]
+    # Latency rises (weakly) with the accuracy constraint at each bw.
+    for bw in BWS:
+        lats = [ours[(bw, a)].latency_ms for a in ACCS
+                if ours[(bw, a)].satisfied]
+        assert lats == sorted(lats)
+    # Headline latency reduction at a tight accuracy SLO.
+    tight = 77.0
+    reductions = []
+    for bw in BWS:
+        p = ours[(bw, tight)]
+        rivals = [pts[(bw, tight)].latency_ms for m, pts in data.items()
+                  if m != "Murmuration (Ours)" and pts[(bw, tight)].satisfied]
+        if p.satisfied and rivals:
+            reductions.append(min(rivals) / p.latency_ms)
+    best = max(reductions)
+    print(f"max latency reduction vs qualifying baselines: {best:.1f}x")
+    assert best > 2.0

@@ -1,0 +1,47 @@
+"""Fig. 19 — Model switch time on the Raspberry Pi 4.
+
+Paper shape: Murmuration's in-memory supernet reconfiguration completes
+in milliseconds; switching between fixed models requires reloading
+weights from storage and costs seconds — 2-3 orders of magnitude more.
+"""
+
+import pytest
+
+from repro.devices import rpi4
+from repro.eval import fig19_switch_time, format_switch_time
+from repro.models import MODEL_ZOO, get_model
+from repro.runtime import FixedModelStore
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_switch_time(benchmark):
+    data = benchmark.pedantic(fig19_switch_time, rounds=1, iterations=1)
+    print("\n=== Fig 19: model switch time (Raspberry Pi 4) ===")
+    print(format_switch_time(data))
+
+    reconf = data["Murmuration (supernet reconfig)"]
+    assert reconf < 0.05  # milliseconds
+    for name, t in data.items():
+        if name.startswith("reload"):
+            assert t / reconf > 30
+
+
+@pytest.mark.benchmark(group="fig19")
+def test_fig19_switch_sequence_with_eviction(benchmark):
+    """A switching *sequence* under a memory budget: alternating between
+    two large models forces repeated reloads, while the supernet never
+    pays again — the dynamic the paper's Fig. 19 bar chart summarizes."""
+
+    def run():
+        store = FixedModelStore(
+            rpi4(),
+            resident_budget=get_model("resnet50").total_weight_bytes + 1)
+        total = 0.0
+        for _ in range(3):
+            total += store.switch(get_model("resnet50")).modeled_time_s
+            total += store.switch(get_model("densenet161")).modeled_time_s
+        return total
+
+    total_reload = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\n6 alternating fixed-model switches: {total_reload:.1f}s")
+    assert total_reload > 5.0  # seconds of reloading

@@ -1,0 +1,68 @@
+"""Micro-benchmarks of the NumPy NN engine's hot kernels.
+
+Classic pytest-benchmark timing (multiple rounds) for the primitives
+everything else is built on: im2col convolution, depthwise convolution,
+the batched LSTM policy step, and the latency simulator itself.
+"""
+
+import numpy as np
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.models import get_model
+from repro.netsim import Cluster, NetworkCondition
+from repro.nn import LSTMCell
+from repro.nn import functional as F
+from repro.partition import layerwise_split_plan, simulate_latency
+
+RNG = np.random.default_rng(0)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv2d_forward(benchmark):
+    x = RNG.normal(size=(8, 32, 28, 28))
+    w = RNG.normal(size=(64, 32, 3, 3))
+    out, _ = benchmark(F.conv2d, x, w, None, 1, 1)
+    assert out.shape == (8, 64, 28, 28)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_conv2d_backward(benchmark):
+    x = RNG.normal(size=(8, 32, 28, 28))
+    w = RNG.normal(size=(64, 32, 3, 3))
+    out, cache = F.conv2d(x, w, None, 1, 1)
+    g = np.ones_like(out)
+    gx, gw, gb = benchmark(F.conv2d_backward, g, cache)
+    assert gx.shape == x.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_depthwise_conv2d(benchmark):
+    x = RNG.normal(size=(8, 64, 28, 28))
+    w = RNG.normal(size=(64, 1, 5, 5))
+    out, _ = benchmark(F.depthwise_conv2d, x, w, None, 1, 2)
+    assert out.shape == x.shape
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_lstm_batched_step(benchmark):
+    cell = LSTMCell(64, 256)
+    x = RNG.normal(size=(32, 64))
+    state = cell.zero_state(32)
+
+    def step():
+        return cell.forward_step(x, state, record=False)
+
+    h, _ = benchmark(step)
+    assert h.shape == (32, 256)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_latency_simulation_throughput(benchmark):
+    """The simulator is called once per RL episode; it must be cheap."""
+    g = get_model("mobilenet_v3_large")
+    cluster = Cluster([rpi4(), desktop_gtx1080()],
+                      NetworkCondition((200.0,), (20.0,)))
+    plan = layerwise_split_plan(g, len(g) // 2)
+    report = benchmark(simulate_latency, g, plan, cluster)
+    assert report.total_s > 0

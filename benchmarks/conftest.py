@@ -1,0 +1,21 @@
+"""Benchmark configuration.
+
+Every ``bench_figNN_*`` benchmark regenerates one figure of the paper's
+evaluation section and prints the series it plots.  Benchmarks default
+to reduced-but-shape-preserving budgets so the whole suite runs in
+minutes; set ``REPRO_FULL=1`` for paper-scale budgets (20k RL steps,
+full grids).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def full():
+    return full_scale()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fast model adaptation under a *dynamic* network (paper Sec. 5.1).
+
+Replays an abrupt step-change trace (handover events every few seconds)
+against the full runtime stack — network monitor, linear-regression
+monitoring predictor, strategy cache with predictor-driven precompute,
+and in-memory supernet reconfiguration — and reports how much decision
+latency the fast-adaptation machinery removes.
+
+Run:  python examples/dynamic_network.py        (~1 min)
+"""
+
+import numpy as np
+
+from repro.core import SLO, Murmuration, SearchDecisionEngine, StrategyCache
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.netsim import NetworkCondition, TraceConfig, step_trace
+
+
+def build_system(use_cache: bool, use_predictor: bool, seed: int = 0):
+    devices = [rpi4(), desktop_gtx1080()]
+    cache = (StrategyCache(capacity=256) if use_cache
+             else StrategyCache(capacity=1, bw_step=1e-9, delay_step=1e-9))
+    return Murmuration(
+        MBV3_SPACE, devices, NetworkCondition((250.0,), (15.0,)),
+        SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=10),
+        slo=SLO.latency_ms(150), cache=cache, use_predictor=use_predictor,
+        monitor_noise=0.02, seed=seed)
+
+
+def replay(system, trace, precompute: bool):
+    decision_ms, switches, hits = [], 0, 0
+    prev_arch = None
+    for cond in trace:
+        system.update_condition(cond)
+        if precompute:
+            forecast = system.observed_condition()  # monitor + predictor
+            system.precompute([forecast])
+        rec = system.infer()
+        decision_ms.append(rec.decision_time_s * 1e3)
+        hits += rec.cache_hit
+        if prev_arch is not None and rec.strategy.arch != prev_arch:
+            switches += 1
+        prev_arch = rec.strategy.arch
+    return decision_ms, switches, hits
+
+
+def main() -> None:
+    trace = step_trace(TraceConfig(
+        num_remote=1, bw_range=(40.0, 400.0), delay_range=(5.0, 80.0),
+        steps=60, seed=7), period=12)
+
+    print("60 requests over a step-change trace (handover every 12):\n")
+    configs = [
+        ("no cache, no predictor", False, False, False),
+        ("cache only", True, False, False),
+        ("cache + predictor precompute", True, True, True),
+    ]
+    for label, use_cache, use_pred, precompute in configs:
+        system = build_system(use_cache, use_pred)
+        times, switches, hits = replay(system, trace, precompute)
+        print(f"[{label}]")
+        print(f"  mean decision latency : {np.mean(times):7.2f} ms")
+        print(f"  p95 decision latency  : {np.percentile(times, 95):7.2f} ms")
+        print(f"  cache hits            : {hits}/60")
+        print(f"  submodel switches     : {switches} "
+              f"(in-memory reconfig ~9 ms each on the Pi)")
+        print(f"  SLO compliance        : {system.compliance_rate():.0%}\n")
+
+
+if __name__ == "__main__":
+    main()

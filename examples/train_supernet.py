@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Stage 1 walkthrough: partition-ready one-shot NAS training.
+
+Trains the tiny executable supernet with the full recipe — warmup,
+progressive shrinking (kernel -> depth -> expand), in-place distillation
+and partition/quantization-aware steps — then demonstrates what the
+trained weight-sharing gives you:
+
+* many submodels, one parameter set, with an accuracy/compute trade-off;
+* feature-map quantization at the wire with minimal accuracy loss;
+* FDSP spatial partitioning with near-identical predictions;
+* a fitted accuracy predictor (what Stage-2 RL training consumes).
+
+Run:  python examples/train_supernet.py        (~2-3 min)
+"""
+
+import numpy as np
+
+from repro.nas import (ArchConfig, Supernet, SupernetTrainer,
+                       SyntheticImageDataset, TrainConfig, build_graph,
+                       evaluate_arch, fit_predictor, max_arch, min_arch,
+                       partition_aware_forward, tiny_space)
+from repro.nn import fake_quantize
+from repro.partition import Grid
+
+
+def main() -> None:
+    space = tiny_space()
+    net = Supernet(space, seed=1)
+    ds = SyntheticImageDataset(resolution=32, train_size=256, val_size=96,
+                               seed=1, noise=0.45)
+    print(f"supernet: {net.num_parameters():,} shared parameters, "
+          f"{space.num_submodels():,} submodels")
+
+    trainer = SupernetTrainer(net, ds, TrainConfig(
+        warmup_steps=80, steps_per_phase=40, batch_size=16,
+        partition_prob=0.3, quantize_prob=0.3))
+    result = trainer.train()
+    print(f"training done ({len(result.losses)} steps); "
+          f"final loss {np.mean(result.losses[-10:]):.3f}\n")
+
+    # 1. the accuracy/compute trade-off across submodels
+    print("submodel ladder (shared weights):")
+    mx, mn = max_arch(space), min_arch(space)
+    mid = ArchConfig(32, mn.depths, mx.kernels, mx.expands)
+    for name, arch in [("max", mx), ("mid", mid), ("min", mn)]:
+        acc = evaluate_arch(net, ds, arch)
+        flops = build_graph(arch, space).total_flops
+        print(f"  {name:4s} res={arch.resolution:2d} "
+              f"{flops / 1e6:6.1f} MFLOPs  val acc {acc:5.1f}%")
+
+    # 2. wire quantization robustness (recalibrate BN for the max net)
+    from repro.nas import recalibrate_bn
+    recalibrate_bn(net, ds, mx)
+    net.eval()
+    x, y = ds.val_batch(limit=64)
+    base = net.forward_arch(x, mx)
+    for bits in (32, 16, 8):
+        out = net.forward_arch(fake_quantize(x, bits), mx)
+        acc = float((out.argmax(1) == y).mean() * 100)
+        print(f"  input quantized to {bits:2d} bits -> val acc {acc:5.1f}%")
+
+    # 3. FDSP partitioned stem
+    part = partition_aware_forward(net, x, mx, Grid(1, 2))
+    agree = float((part.argmax(1) == base.argmax(1)).mean())
+    print(f"  FDSP 1x2-partitioned stem agrees with monolithic on "
+          f"{agree:.0%} of predictions")
+
+    # 4. the accuracy predictor Stage 2 consumes
+    print("\nfitting the accuracy predictor on measured submodels...")
+    rng = np.random.default_rng(0)
+    from repro.nas import random_arch
+    oracle = lambda a: evaluate_arch(net, ds, a)
+    pred, mae = fit_predictor(space, oracle=oracle, n_samples=80, epochs=120,
+                              seed=0)
+    print(f"  predictor MAE on held-out submodels: {mae:.2f} points "
+          f"(96-image validation set; measurement noise alone is several "
+          f"points)")
+    a = random_arch(space, rng)
+    print(f"  sample: predicted {pred.predict(a):5.1f}% vs measured "
+          f"{oracle(a):5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""Murmuration reproduction: SLO-aware distributed DNN inference with
+on-the-fly model adaptation (ICPP '24).
+
+Public API tour
+---------------
+* :mod:`repro.core` — the :class:`~repro.core.Murmuration` facade, SLO
+  API, decision engines and strategy cache.
+* :mod:`repro.nas` — one-shot NAS: search space, executable supernet,
+  progressive-shrinking training, accuracy models, evolutionary search.
+* :mod:`repro.rl` — the goal-conditioned environment, the LSTM policy,
+  SUPREME and the GCSL/PPO baselines.
+* :mod:`repro.partition` — FDSP spatial tiling, execution plans and the
+  distributed-latency simulator.
+* :mod:`repro.devices` / :mod:`repro.netsim` — calibrated device
+  profiles, links, condition grids, traces and monitoring.
+* :mod:`repro.baselines` — Neurosurgeon and ADCNN on the fixed-model zoo.
+* :mod:`repro.eval` — per-figure experiment drivers.
+"""
+
+from .core import SLO, Murmuration, RLDecisionEngine, SearchDecisionEngine
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Murmuration",
+    "SLO",
+    "RLDecisionEngine",
+    "SearchDecisionEngine",
+    "__version__",
+]

@@ -1,0 +1,25 @@
+"""Fixed-DNN distributed-inference baselines: Neurosurgeon (layer-wise)
+and ADCNN (FDSP spatial), plus the figure-driver registry."""
+
+from .adcnn import FDSP_FINETUNE_PENALTY, ADCNNResult, adcnn_plan
+from .neurosurgeon import NeurosurgeonResult, neurosurgeon_plan
+from .registry import (
+    AUGMENTED_BASELINES,
+    SWARM_BASELINES,
+    BaselineMethod,
+    BaselineOutcome,
+    make_baseline,
+)
+
+__all__ = [
+    "neurosurgeon_plan",
+    "NeurosurgeonResult",
+    "adcnn_plan",
+    "ADCNNResult",
+    "FDSP_FINETUNE_PENALTY",
+    "BaselineMethod",
+    "BaselineOutcome",
+    "make_baseline",
+    "AUGMENTED_BASELINES",
+    "SWARM_BASELINES",
+]

@@ -1,0 +1,118 @@
+"""Command-line figure runner.
+
+``python -m repro.cli <figure>`` regenerates one of the paper's
+evaluation figures and prints its series — a thin convenience wrapper
+over :mod:`repro.eval` (the pytest benchmarks add assertions on top).
+
+    python -m repro.cli list
+    python -m repro.cli fig13 --slo-ms 140
+    python -m repro.cli fig17
+    python -m repro.cli vit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .eval import (fig13_augmented_accuracy, fig14_swarm_accuracy,
+                   fig15_accuracy_slo_latency, fig16a_compliance_augmented,
+                   fig16b_compliance_swarm, fig17_scalability,
+                   fig18_search_time, fig19_switch_time,
+                   format_accuracy_grid, format_compliance,
+                   format_latency_grid, format_scalability,
+                   format_search_time, format_switch_time)
+
+__all__ = ["main"]
+
+
+def _fig13(args) -> str:
+    data = fig13_augmented_accuracy(latency_slo_ms=args.slo_ms)
+    return format_accuracy_grid(data)
+
+
+def _fig14(args) -> str:
+    return format_accuracy_grid(fig14_swarm_accuracy(),
+                                row_label="slo_ms", col_label="bw")
+
+
+def _fig15(args) -> str:
+    return format_latency_grid(fig15_accuracy_slo_latency())
+
+
+def _fig16(args) -> str:
+    a = format_compliance(fig16a_compliance_augmented())
+    b = format_compliance(fig16b_compliance_swarm())
+    return f"-- Fig 16a (augmented) --\n{a}\n\n-- Fig 16b (swarm) --\n{b}"
+
+
+def _fig17(args) -> str:
+    return format_scalability(fig17_scalability())
+
+
+def _fig18(args) -> str:
+    return format_search_time(fig18_search_time())
+
+
+def _fig19(args) -> str:
+    return format_switch_time(fig19_switch_time())
+
+
+def _vit(args) -> str:
+    from .devices import rpi4
+    from .models import vit_small_16
+    from .netsim import Cluster, NetworkCondition
+    from .partition import (Grid, simulate_latency, single_device_plan,
+                            spatial_plan)
+
+    v = vit_small_16()
+    lines = ["ViT-S/16 patch-parallel on a 5-Pi swarm (latency, s)",
+             f"{'bw Mbps':>8s}{'single':>9s}{'patch-par':>11s}"]
+    for bw in (5.0, 20.0, 100.0, 1000.0):
+        cl = Cluster([rpi4() for _ in range(5)],
+                     NetworkCondition((bw,) * 4, (2.0,) * 4))
+        single = simulate_latency(v, single_device_plan(v), cl).total_s
+        pp = simulate_latency(v, spatial_plan(v, Grid(2, 2), [0, 1, 2, 3]),
+                              cl).total_s
+        lines.append(f"{bw:8.0f}{single:9.2f}{pp:11.2f}")
+    return "\n".join(lines)
+
+
+_COMMANDS = {
+    "fig13": (_fig13, "accuracy grid @ latency SLO (augmented)"),
+    "fig14": (_fig14, "swarm accuracy vs bandwidth per SLO"),
+    "fig15": (_fig15, "latency under accuracy SLOs"),
+    "fig16": (_fig16, "SLO compliance rates"),
+    "fig17": (_fig17, "scaling with device count"),
+    "fig18": (_fig18, "decision time: evolutionary vs RL"),
+    "fig19": (_fig19, "model switch time"),
+    "vit": (_vit, "extension: ViT patch-parallel inference"),
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Regenerate figures from the Murmuration paper.")
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list available figures")
+    for name, (_, help_text) in _COMMANDS.items():
+        p = sub.add_parser(name, help=help_text)
+        if name == "fig13":
+            p.add_argument("--slo-ms", type=float, default=140.0,
+                           help="latency SLO in milliseconds")
+    args = parser.parse_args(argv)
+
+    if args.command in (None, "list"):
+        print("available figures:")
+        for name, (_, help_text) in _COMMANDS.items():
+            print(f"  {name:7s} {help_text}")
+        return 0
+    fn, _ = _COMMANDS[args.command]
+    print(fn(args))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

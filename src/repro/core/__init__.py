@@ -1,0 +1,19 @@
+"""Murmuration core: SLO API, strategies, decision engines, strategy
+cache, and the system facade."""
+
+from .decision import DecisionRecord, RLDecisionEngine, SearchDecisionEngine
+from .murmuration import InferenceRecord, Murmuration
+from .slo import SLO
+from .strategy import Strategy
+from .strategy_cache import StrategyCache
+
+__all__ = [
+    "SLO",
+    "Strategy",
+    "StrategyCache",
+    "DecisionRecord",
+    "RLDecisionEngine",
+    "SearchDecisionEngine",
+    "Murmuration",
+    "InferenceRecord",
+]

@@ -1,0 +1,127 @@
+"""Model Selection and Partition Decision module (paper Sec. 5).
+
+Two interchangeable engines:
+
+* :class:`RLDecisionEngine` — wraps a trained LSTM policy; one greedy
+  rollout per decision (milliseconds — the Fig. 18 fast path);
+* :class:`SearchDecisionEngine` — exhaustive check of seed architectures
+  x canonical plan templates; slower but training-free (useful as a
+  bootstrap and as an upper-bound reference in tests).
+
+Both return a :class:`~repro.core.strategy.Strategy` or ``None`` when no
+checked strategy satisfies the SLO.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.profiles import DeviceProfile
+from ..nas.accuracy_model import plan_accuracy_penalty
+from ..nas.arch import ArchConfig, max_arch, min_arch, random_arch
+from ..nas.evolution import candidate_plans
+from ..nas.graph_builder import build_graph
+from ..nas.search_space import SearchSpace
+from ..netsim.topology import Cluster, NetworkCondition
+from ..partition.simulate import simulate_latency
+from ..rl.env import MurmurationEnv, Task
+from ..rl.policy import LSTMPolicy
+from .slo import SLO
+from .strategy import Strategy
+
+__all__ = ["DecisionRecord", "RLDecisionEngine", "SearchDecisionEngine"]
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    strategy: Optional[Strategy]
+    decision_time_s: float
+    engine: str
+
+
+class RLDecisionEngine:
+    """Greedy policy rollout -> strategy.
+
+    When the policy's greedy choice misses the SLO, the engine falls
+    back to the bootstrap seed strategies (min/max submodel per device)
+    — the same safe trajectories training starts from — so a deployable
+    strategy is returned whenever one exists in that safe set.  Disable
+    with ``fallback=False`` to measure the raw policy (as the training
+    evaluations do).
+    """
+
+    def __init__(self, env: MurmurationEnv, policy: LSTMPolicy,
+                 fallback: bool = True):
+        self.env = env
+        self.policy = policy
+        self.fallback = fallback
+
+    def decide(self, slo: SLO, condition: NetworkCondition) -> DecisionRecord:
+        t0 = time.perf_counter()
+        if slo.kind != self.env.cfg.slo_kind:
+            raise ValueError(
+                f"engine trained for {self.env.cfg.slo_kind!r} SLOs, "
+                f"got {slo.kind!r}")
+        task = Task(slo.value, condition)
+        context = self.env.encode_task(task)
+        actions = self.policy.greedy_actions(context, self.env.schedule)
+        outcome = self.env.evaluate_actions(actions, task)
+        if not outcome.satisfied and self.fallback:
+            outcome = self._best_seed(task, outcome)
+        elapsed = time.perf_counter() - t0
+        if not outcome.satisfied:
+            return DecisionRecord(None, elapsed, "rl")
+        strategy = Strategy(outcome.arch, outcome.plan, outcome.latency_s,
+                            outcome.accuracy)
+        return DecisionRecord(strategy, elapsed, "rl")
+
+    def _best_seed(self, task: Task, fallback_outcome):
+        from ..rl.common import bootstrap_actions
+
+        best = fallback_outcome
+        for actions in bootstrap_actions(self.env):
+            out = self.env.evaluate_actions(actions, task)
+            if out.satisfied and (not best.satisfied
+                                  or out.reward > best.reward):
+                best = out
+        return best
+
+
+class SearchDecisionEngine:
+    """Brute-force over seed archs x plan templates."""
+
+    def __init__(self, space: SearchSpace, devices: Sequence[DeviceProfile],
+                 n_random_archs: int = 12, seed: int = 0):
+        self.space = space
+        self.devices = list(devices)
+        rng = np.random.default_rng(seed)
+        self.archs: List[ArchConfig] = [min_arch(space), max_arch(space)]
+        self.archs += [random_arch(space, rng) for _ in range(n_random_archs)]
+
+    def decide(self, slo: SLO, condition: NetworkCondition) -> DecisionRecord:
+        from ..nas.accuracy_model import arch_accuracy
+
+        t0 = time.perf_counter()
+        cluster = Cluster(self.devices, condition)
+        best: Optional[Strategy] = None
+        for arch in self.archs:
+            graph = build_graph(arch, self.space)
+            base_acc = arch_accuracy(arch, self.space)
+            for plan in candidate_plans(graph, cluster):
+                rep = simulate_latency(graph, plan, cluster)
+                acc = base_acc - plan_accuracy_penalty(plan)
+                if not slo.satisfied_by(rep.total_s, acc):
+                    continue
+                if best is None:
+                    better = True
+                elif slo.kind == "latency":
+                    better = acc > best.expected_accuracy
+                else:
+                    better = rep.total_s < best.expected_latency_s
+                if better:
+                    best = Strategy(arch, plan, rep.total_s, acc)
+        return DecisionRecord(best, time.perf_counter() - t0, "search")

@@ -1,0 +1,183 @@
+"""The Murmuration system facade (paper Fig. 10).
+
+Wires together every Stage-3 module: network monitoring, the monitoring
+predictor, the model-selection/partition decision engine, the strategy
+cache, model reconfiguration, and the distributed executor.  One
+:class:`Murmuration` instance is "the local device's runtime"; remote
+devices are simulated through the cluster model.
+
+Two operating modes:
+
+* **plan-only** (no executable supernet): :meth:`infer` prices the
+  chosen strategy with the latency simulator — this is the mode the
+  paper-scale benchmarks use;
+* **executable** (a :class:`~repro.nas.supernet.Supernet` attached):
+  :meth:`infer` really runs the partitioned submodel on the input batch
+  through the distributed executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..devices.profiles import DeviceProfile
+from ..nas.graph_builder import build_graph
+from ..nas.search_space import SearchSpace
+from ..nas.supernet import Supernet
+from ..netsim.monitor import NetworkMonitor
+from ..netsim.topology import Cluster, NetworkCondition
+from ..partition.simulate import simulate_latency
+from ..runtime.executor import DistributedExecutor, ExecutionResult
+from ..runtime.predictor import MonitoringPredictor
+from ..runtime.reconfig import ModelReconfig
+from .decision import DecisionRecord, RLDecisionEngine, SearchDecisionEngine
+from .slo import SLO
+from .strategy import Strategy
+from .strategy_cache import StrategyCache
+
+__all__ = ["InferenceRecord", "Murmuration"]
+
+
+@dataclass
+class InferenceRecord:
+    """Outcome of one served request."""
+
+    latency_s: float
+    accuracy: float
+    satisfied: bool
+    strategy: Strategy
+    cache_hit: bool
+    decision_time_s: float
+    switch_time_s: float
+    logits: Optional[np.ndarray] = None
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+
+class Murmuration:
+    """SLO-aware distributed inference runtime."""
+
+    def __init__(self, space: SearchSpace, devices: Sequence[DeviceProfile],
+                 condition: NetworkCondition, decision_engine,
+                 slo: Optional[SLO] = None,
+                 supernet: Optional[Supernet] = None,
+                 cache: Optional[StrategyCache] = None,
+                 use_predictor: bool = True,
+                 monitor_noise: float = 0.03, seed: int = 0):
+        self.space = space
+        self.cluster = Cluster(list(devices), condition)
+        self.engine = decision_engine
+        self.slo = slo
+        self.cache = cache if cache is not None else StrategyCache()
+        self.monitor = NetworkMonitor(self.cluster, noise=monitor_noise,
+                                      seed=seed)
+        self.predictor = (MonitoringPredictor(self.cluster.num_devices - 1)
+                          if use_predictor else None)
+        self.supernet = supernet
+        self.reconfig = (ModelReconfig(supernet, self.cluster.local)
+                         if supernet is not None else None)
+        self.executor = (DistributedExecutor(supernet, self.cluster)
+                         if supernet is not None else None)
+        self.records: List[InferenceRecord] = []
+        self._now = 0.0
+
+    # -- control plane -----------------------------------------------------
+    def set_slo(self, slo: SLO) -> None:
+        """The SLO API: a single scalar latency or accuracy objective."""
+        self.slo = slo
+
+    def update_condition(self, condition: NetworkCondition) -> None:
+        """Apply a change in true network conditions (trace replay)."""
+        self.cluster.set_condition(condition)
+
+    def observed_condition(self, now: Optional[float] = None) -> NetworkCondition:
+        """Monitor probe round -> smoothed estimate (+ optional forecast)."""
+        now = self._now if now is None else now
+        measurements = self.monitor.probe_all(now)
+        estimate = self.monitor.estimate()
+        if self.predictor is not None:
+            self.predictor.observe_all(measurements)
+            predicted = self.predictor.predict(now + 1.0, fallback=estimate)
+            if predicted is not None:
+                return predicted
+        return estimate
+
+    def decide(self, condition: Optional[NetworkCondition] = None,
+               ) -> DecisionRecord:
+        """Run (or cache-hit) the decision for the current SLO."""
+        if self.slo is None:
+            raise RuntimeError("no SLO set; call set_slo() first")
+        condition = condition or self.observed_condition()
+        cached = self.cache.get(self.slo, condition)
+        if cached is not None:
+            return DecisionRecord(cached, 0.0, "cache")
+        record = self.engine.decide(self.slo, condition)
+        if record.strategy is not None:
+            self.cache.put(self.slo, condition, record.strategy)
+        return record
+
+    def precompute(self, conditions: Sequence[NetworkCondition]) -> int:
+        """Warm the cache for forecast conditions (Sec. 5.1 fast path).
+
+        Returns the number of strategies computed.
+        """
+        if self.slo is None:
+            raise RuntimeError("no SLO set; call set_slo() first")
+        computed = 0
+        for cond in conditions:
+            if self.cache.get(self.slo, cond) is None:
+                rec = self.engine.decide(self.slo, cond)
+                if rec.strategy is not None:
+                    self.cache.put(self.slo, cond, rec.strategy)
+                    computed += 1
+        return computed
+
+    # -- data plane ------------------------------------------------------------
+    def infer(self, x: Optional[np.ndarray] = None,
+              now: Optional[float] = None) -> InferenceRecord:
+        """Serve one inference request under the current SLO."""
+        if now is not None:
+            self._now = now
+        decision = self.decide()
+        if decision.strategy is None:
+            raise RuntimeError(
+                "no strategy satisfies the SLO under current conditions")
+        strategy = decision.strategy
+        switch_time = 0.0
+        logits = None
+        if self.reconfig is not None and (
+                self.reconfig.active_arch is None
+                or self.reconfig.active_arch != strategy.arch):
+            switch_time = self.reconfig.switch(strategy.arch).modeled_time_s
+
+        if self.executor is not None and x is not None:
+            result: ExecutionResult = self.executor.execute(
+                x, strategy.arch, strategy.plan)
+            latency = result.report.total_s
+            logits = result.logits
+        else:
+            graph = build_graph(strategy.arch, self.space)
+            latency = simulate_latency(graph, strategy.plan,
+                                       self.cluster).total_s
+        accuracy = strategy.expected_accuracy
+        satisfied = (self.slo.satisfied_by(latency, accuracy)
+                     if self.slo else True)
+        record = InferenceRecord(
+            latency_s=latency, accuracy=accuracy, satisfied=satisfied,
+            strategy=strategy, cache_hit=(decision.engine == "cache"),
+            decision_time_s=decision.decision_time_s,
+            switch_time_s=switch_time, logits=logits)
+        self.records.append(record)
+        self._now += latency
+        return record
+
+    # -- stats --------------------------------------------------------------------
+    def compliance_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.satisfied for r in self.records) / len(self.records)

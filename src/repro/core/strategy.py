@@ -1,0 +1,34 @@
+"""Strategies: the unit the decision module produces and caches.
+
+A strategy pairs a submodel choice with an execution plan, annotated
+with the costs the decision-maker expected when it chose them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..nas.arch import ArchConfig
+from ..partition.plan import ExecutionPlan
+
+__all__ = ["Strategy"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """(submodel, plan) with expected costs."""
+
+    arch: ArchConfig
+    plan: ExecutionPlan
+    expected_latency_s: float
+    expected_accuracy: float
+
+    def summary(self) -> str:
+        grids = {}
+        for bp in self.plan:
+            grids[str(bp.grid)] = grids.get(str(bp.grid), 0) + 1
+        return (f"res={self.arch.resolution} depths={self.arch.depths} "
+                f"grids={grids} devices={self.plan.devices_used()} "
+                f"~{self.expected_latency_s * 1e3:.1f}ms "
+                f"~{self.expected_accuracy:.1f}%")

@@ -1,0 +1,77 @@
+"""Strategy cache (paper Sec. 5).
+
+Maps quantized (SLO, network condition) keys to previously computed
+strategies so the RL policy need not run on every request.  Conditions
+are snapped to a configurable granularity — two conditions within the
+same cell share a strategy, which is safe because strategies are lower
+bounds under mild relaxation (the SUPREME observation).
+
+LRU eviction bounds memory.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+from ..netsim.topology import NetworkCondition
+from .slo import SLO
+from .strategy import Strategy
+
+__all__ = ["StrategyCache"]
+
+
+class StrategyCache:
+    def __init__(self, capacity: int = 256, slo_step: float = 0.01,
+                 bw_step: float = 25.0, delay_step: float = 10.0):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.slo_step = slo_step
+        self.bw_step = bw_step
+        self.delay_step = delay_step
+        self._store: "OrderedDict[tuple, Strategy]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    # -- key construction ---------------------------------------------------
+    def _key(self, slo: SLO, condition: NetworkCondition) -> tuple:
+        def snap(v: float, step: float) -> int:
+            return int(round(v / step))
+
+        return (
+            slo.kind,
+            snap(slo.value, self.slo_step),
+            tuple(snap(b, self.bw_step) for b in condition.bandwidths_mbps),
+            tuple(snap(d, self.delay_step) for d in condition.delays_ms),
+        )
+
+    # -- API -------------------------------------------------------------------
+    def get(self, slo: SLO, condition: NetworkCondition) -> Optional[Strategy]:
+        key = self._key(slo, condition)
+        strategy = self._store.get(key)
+        if strategy is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return strategy
+
+    def put(self, slo: SLO, condition: NetworkCondition,
+            strategy: Strategy) -> None:
+        key = self._key(slo, condition)
+        self._store[key] = strategy
+        self._store.move_to_end(key)
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,76 @@
+"""Per-block latency estimation on a device.
+
+Bridges :class:`~repro.models.graph.ComputeBlock` and
+:class:`~repro.devices.profiles.DeviceProfile` with the memory-traffic
+estimate the roofline term needs, plus model-switch costs (Fig. 19).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..models.graph import ComputeBlock, ModelGraph
+from .profiles import DeviceProfile
+
+__all__ = ["block_time", "graph_time", "model_switch_time",
+           "supernet_reconfig_time"]
+
+_FP32 = 4
+
+
+def block_mem_bytes(block: ComputeBlock, in_elements: Optional[int] = None) -> float:
+    """Approximate memory traffic of one block: read input + weights,
+    write output (fp32)."""
+    inp = in_elements if in_elements is not None else block.out_elements
+    return _FP32 * (inp + block.out_elements) + block.weight_bytes
+
+
+def block_time(block: ComputeBlock, device: DeviceProfile,
+               in_elements: Optional[int] = None,
+               flop_scale: float = 1.0) -> float:
+    """Latency of one block on one device.
+
+    ``flop_scale`` < 1 models a spatial tile (that fraction of the work);
+    > 1 models FDSP padding overhead on top.
+    """
+    mem = block_mem_bytes(block, in_elements) * flop_scale
+    flops = block.flops * flop_scale
+    if block.depthwise:
+        flops *= device.depthwise_penalty
+    return device.compute_time(flops, mem, n_blocks=1)
+
+
+def graph_time(graph: ModelGraph, device: DeviceProfile) -> float:
+    """Whole-model single-device latency (no partitioning, no network)."""
+    total = 0.0
+    prev_elements = graph.input_elements
+    for block in graph:
+        total += block_time(block, device, in_elements=prev_elements)
+        prev_elements = block.out_elements
+    return total
+
+
+def model_switch_time(graph: ModelGraph, device: DeviceProfile,
+                      in_memory: bool = False) -> float:
+    """Time to switch to ``graph`` on ``device``.
+
+    ``in_memory=False`` models loading a different fixed model: weights
+    are paged from storage and the runtime graph is rebuilt.  The paper's
+    Fig. 19 compares this against Murmuration's in-memory supernet
+    reconfiguration.
+    """
+    if in_memory:
+        return supernet_reconfig_time(len(graph), device)
+    load = device.weight_load_time(graph.total_weight_bytes)
+    rebuild = 0.002 * len(graph) / max(device.speed_factor, 1e-6)
+    return load + rebuild
+
+
+def supernet_reconfig_time(num_blocks: int, device: DeviceProfile) -> float:
+    """In-memory submodel switch: per-block pointer/flag updates only.
+
+    No weight copies or disk access — this is the design choice Section
+    5.1 motivates, giving millisecond-scale switches.
+    """
+    per_block = 25e-6 / max(device.speed_factor, 1e-6)
+    return num_blocks * per_block

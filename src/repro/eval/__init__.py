@@ -1,0 +1,61 @@
+"""Evaluation drivers: scenarios, the Murmuration strategy oracle,
+per-figure experiments and text reporting."""
+
+from .experiments import (
+    MethodPoint,
+    fig13_augmented_accuracy,
+    fig14_swarm_accuracy,
+    fig15_accuracy_slo_latency,
+    fig16a_compliance_augmented,
+    fig16b_compliance_swarm,
+    fig17_scalability,
+    fig18_search_time,
+    fig19_switch_time,
+)
+from .murmuration_method import MurmurationOracle, lattice_archs, policy_method
+from .reporting import (
+    accuracy_grid_to_csv,
+    compliance_to_csv,
+    format_accuracy_grid,
+    format_compliance,
+    format_latency_grid,
+    format_scalability,
+    format_search_time,
+    format_switch_time,
+)
+from .training_curves import format_training_curves, run_training_curves
+from .scenarios import (
+    augmented_cluster,
+    augmented_devices,
+    swarm_cluster,
+    swarm_devices,
+)
+
+__all__ = [
+    "MethodPoint",
+    "fig13_augmented_accuracy",
+    "fig14_swarm_accuracy",
+    "fig15_accuracy_slo_latency",
+    "fig16a_compliance_augmented",
+    "fig16b_compliance_swarm",
+    "fig17_scalability",
+    "fig18_search_time",
+    "fig19_switch_time",
+    "MurmurationOracle",
+    "lattice_archs",
+    "policy_method",
+    "augmented_devices",
+    "swarm_devices",
+    "augmented_cluster",
+    "swarm_cluster",
+    "format_accuracy_grid",
+    "format_latency_grid",
+    "format_compliance",
+    "format_scalability",
+    "format_search_time",
+    "format_switch_time",
+    "run_training_curves",
+    "format_training_curves",
+    "accuracy_grid_to_csv",
+    "compliance_to_csv",
+]

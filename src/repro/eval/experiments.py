@@ -1,0 +1,330 @@
+"""Per-figure experiment drivers (paper Sec. 6).
+
+Each ``figNN_*`` function regenerates the data behind one figure and
+returns plain dict/list structures; :mod:`repro.eval.reporting` renders
+them as the text tables the benchmarks print.  EXPERIMENTS.md records
+paper-vs-measured for each.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.registry import (AUGMENTED_BASELINES, SWARM_BASELINES,
+                                  BaselineMethod)
+from ..core.slo import SLO
+from ..core.strategy import Strategy
+from ..devices.latency import model_switch_time, supernet_reconfig_time
+from ..devices.profiles import desktop_gtx1080, rpi4
+from ..models.zoo import MODEL_ZOO, get_model
+from ..nas.evolution import EvolutionConfig, evolutionary_search
+from ..nas.graph_builder import build_graph
+from ..nas.search_space import MBV3_SPACE, SearchSpace
+from ..netsim.grids import (AUGMENTED_BANDWIDTHS, AUGMENTED_DELAYS,
+                            SWARM_BANDWIDTHS, SWARM_DELAY)
+from ..netsim.topology import Cluster, NetworkCondition
+from ..rl.env import EnvConfig, MurmurationEnv, Task
+from ..rl.policy import LSTMPolicy
+from .murmuration_method import MurmurationOracle
+from .scenarios import augmented_devices, swarm_devices
+
+__all__ = [
+    "MethodPoint",
+    "fig13_augmented_accuracy",
+    "fig14_swarm_accuracy",
+    "fig15_accuracy_slo_latency",
+    "fig16a_compliance_augmented",
+    "fig16b_compliance_swarm",
+    "fig17_scalability",
+    "fig18_search_time",
+    "fig19_switch_time",
+]
+
+DecideFn = Callable[[SLO, NetworkCondition], Optional[Strategy]]
+
+
+@dataclass(frozen=True)
+class MethodPoint:
+    """One (method, condition) cell of a figure."""
+
+    satisfied: bool
+    accuracy: Optional[float]
+    latency_ms: Optional[float]
+
+
+def _murmuration_point(oracle: MurmurationOracle, slo: SLO,
+                       condition: NetworkCondition,
+                       accuracy_floor: Optional[float] = None) -> MethodPoint:
+    s = oracle.decide(slo, condition)
+    if s is None or (accuracy_floor is not None
+                     and s.expected_accuracy < accuracy_floor):
+        return MethodPoint(False, None, None)
+    return MethodPoint(True, s.expected_accuracy,
+                       s.expected_latency_s * 1e3)
+
+
+def _baseline_point(method: BaselineMethod, cluster: Cluster, slo: SLO,
+                    accuracy_floor: Optional[float] = None) -> MethodPoint:
+    out = method.evaluate(cluster, slo)
+    ok = out.satisfied and (accuracy_floor is None
+                            or out.accuracy >= accuracy_floor)
+    if not ok:
+        return MethodPoint(False, None, None)
+    return MethodPoint(True, out.accuracy, out.latency_s * 1e3)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — augmented computing, accuracy vs (bw, delay) @ latency SLO
+# ---------------------------------------------------------------------------
+
+def fig13_augmented_accuracy(latency_slo_ms: float = 140.0,
+                             bandwidths: Sequence[float] = AUGMENTED_BANDWIDTHS,
+                             delays: Sequence[float] = AUGMENTED_DELAYS,
+                             space: SearchSpace = MBV3_SPACE,
+                             ) -> Dict[str, Dict[Tuple[float, float], MethodPoint]]:
+    """Accuracy achieved under a latency SLO across the (bw, delay) grid.
+
+    Returns {method name: {(delay_ms, bw_mbps): MethodPoint}}.
+    """
+    slo = SLO.latency_ms(latency_slo_ms)
+    devices = augmented_devices()
+    oracle = MurmurationOracle(space, devices)
+    results: Dict[str, Dict[Tuple[float, float], MethodPoint]] = {
+        m.name: {} for m in AUGMENTED_BASELINES}
+    results["Murmuration (Ours)"] = {}
+    for delay in delays:
+        for bw in bandwidths:
+            condition = NetworkCondition((bw,), (delay,))
+            cluster = Cluster(devices, condition)
+            for m in AUGMENTED_BASELINES:
+                results[m.name][(delay, bw)] = _baseline_point(m, cluster, slo)
+            results["Murmuration (Ours)"][(delay, bw)] = _murmuration_point(
+                oracle, slo, condition)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — device swarm, accuracy vs bw per latency SLO @ 20 ms delay
+# ---------------------------------------------------------------------------
+
+def fig14_swarm_accuracy(latency_slos_ms: Sequence[float] = (
+        2000.0, 1000.0, 600.0, 500.0, 400.0),
+        bandwidths: Sequence[float] = SWARM_BANDWIDTHS,
+        delay_ms: float = SWARM_DELAY,
+        space: SearchSpace = MBV3_SPACE,
+        ) -> Dict[str, Dict[Tuple[float, float], MethodPoint]]:
+    """Returns {method: {(latency_slo_ms, bw): MethodPoint}}."""
+    devices = swarm_devices(5)
+    oracle = MurmurationOracle(space, devices)
+    results: Dict[str, Dict[Tuple[float, float], MethodPoint]] = {
+        m.name: {} for m in SWARM_BASELINES}
+    results["Murmuration (Ours)"] = {}
+    for slo_ms in latency_slos_ms:
+        slo = SLO.latency_ms(slo_ms)
+        for bw in bandwidths:
+            bws = [100.0] * 4
+            bws[0] = bw
+            condition = NetworkCondition(tuple(bws), (delay_ms,) * 4)
+            cluster = Cluster(devices, condition)
+            for m in SWARM_BASELINES:
+                results[m.name][(slo_ms, bw)] = _baseline_point(m, cluster, slo)
+            results["Murmuration (Ours)"][(slo_ms, bw)] = _murmuration_point(
+                oracle, slo, condition)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — latency under an accuracy SLO (augmented computing)
+# ---------------------------------------------------------------------------
+
+def fig15_accuracy_slo_latency(
+        accuracy_slos: Sequence[float] = (72.0, 73.0, 74.0, 75.0, 76.0,
+                                          77.0, 78.0, 78.5),
+        bandwidths: Sequence[float] = AUGMENTED_BANDWIDTHS,
+        delay_ms: float = 20.0,
+        space: SearchSpace = MBV3_SPACE,
+        ) -> Dict[str, Dict[Tuple[float, float], MethodPoint]]:
+    """Returns {method: {(bw, accuracy_slo): MethodPoint}} — Fig. 15 uses
+    only the Neurosurgeon family plus Murmuration."""
+    devices = augmented_devices()
+    oracle = MurmurationOracle(space, devices)
+    neuro = [m for m in AUGMENTED_BASELINES if m.framework == "neurosurgeon"]
+    results: Dict[str, Dict[Tuple[float, float], MethodPoint]] = {
+        m.name: {} for m in neuro}
+    results["Murmuration (Ours)"] = {}
+    for bw in bandwidths:
+        condition = NetworkCondition((bw,), (delay_ms,))
+        cluster = Cluster(devices, condition)
+        for acc_slo in accuracy_slos:
+            slo = SLO.accuracy(acc_slo)
+            for m in neuro:
+                results[m.name][(bw, acc_slo)] = _baseline_point(
+                    m, cluster, slo)
+            results["Murmuration (Ours)"][(bw, acc_slo)] = _murmuration_point(
+                oracle, slo, condition)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — SLO compliance rates
+# ---------------------------------------------------------------------------
+
+def _compliance(points: Dict[Tuple, MethodPoint]) -> float:
+    vals = list(points.values())
+    return 100.0 * sum(p.satisfied for p in vals) / len(vals)
+
+
+def fig16a_compliance_augmented(
+        latency_slos_ms: Sequence[float] = (100.0, 120.0, 140.0),
+        accuracy_floor: float = 75.0,
+        space: SearchSpace = MBV3_SPACE) -> Dict[str, Dict[float, float]]:
+    """Compliance over the 40 augmented network settings with a joint
+    (latency <= L, accuracy >= 75%) SLO.  Methods: the paper's Fig. 16a
+    trio."""
+    devices = augmented_devices()
+    oracle = MurmurationOracle(space, devices)
+    methods = [m for m in AUGMENTED_BASELINES
+               if m.name in ("Neurosurgeon + ResNet50",
+                             "Neurosurgeon + Inception")]
+    out: Dict[str, Dict[float, float]] = {m.name: {} for m in methods}
+    out["Murmuration (Ours)"] = {}
+    for slo_ms in latency_slos_ms:
+        slo = SLO.latency_ms(slo_ms)
+        cells: Dict[str, Dict[Tuple, MethodPoint]] = {
+            m.name: {} for m in methods}
+        cells["Murmuration (Ours)"] = {}
+        for delay in AUGMENTED_DELAYS:
+            for bw in AUGMENTED_BANDWIDTHS:
+                condition = NetworkCondition((bw,), (delay,))
+                cluster = Cluster(devices, condition)
+                for m in methods:
+                    cells[m.name][(delay, bw)] = _baseline_point(
+                        m, cluster, slo, accuracy_floor)
+                cells["Murmuration (Ours)"][(delay, bw)] = _murmuration_point(
+                    oracle, slo, condition, accuracy_floor)
+        for name, pts in cells.items():
+            out[name][slo_ms] = _compliance(pts)
+    return out
+
+
+def fig16b_compliance_swarm(
+        latency_slos_ms: Sequence[float] = (600.0, 1000.0),
+        accuracy_floor: float = 74.0,
+        space: SearchSpace = MBV3_SPACE) -> Dict[str, Dict[float, float]]:
+    """Compliance over the 9 swarm settings (bw 5-500, delay 20 ms)."""
+    devices = swarm_devices(5)
+    oracle = MurmurationOracle(space, devices)
+    methods = [m for m in SWARM_BASELINES
+               if m.name in ("ADCNN + MobileNetV3", "ADCNN + ResNet50")]
+    out: Dict[str, Dict[float, float]] = {m.name: {} for m in methods}
+    out["Murmuration (Ours)"] = {}
+    for slo_ms in latency_slos_ms:
+        slo = SLO.latency_ms(slo_ms)
+        cells: Dict[str, Dict[Tuple, MethodPoint]] = {
+            m.name: {} for m in methods}
+        cells["Murmuration (Ours)"] = {}
+        for bw in SWARM_BANDWIDTHS:
+            # Fig. 16b sweeps the whole swarm's links together.
+            condition = NetworkCondition((bw,) * 4, (SWARM_DELAY,) * 4)
+            cluster = Cluster(devices, condition)
+            for m in methods:
+                cells[m.name][(bw,)] = _baseline_point(m, cluster, slo,
+                                                       accuracy_floor)
+            cells["Murmuration (Ours)"][(bw,)] = _murmuration_point(
+                oracle, slo, condition, accuracy_floor)
+        for name, pts in cells.items():
+            out[name][slo_ms] = _compliance(pts)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 — scalability with device count
+# ---------------------------------------------------------------------------
+
+def fig17_scalability(accuracy_slos: Sequence[float] = (75.0, 76.0),
+                      device_counts: Sequence[int] = tuple(range(1, 10)),
+                      bandwidth_mbps: float = 1000.0, delay_ms: float = 2.0,
+                      space: SearchSpace = MBV3_SPACE,
+                      ) -> Dict[float, Dict[int, Optional[float]]]:
+    """Murmuration latency (ms) vs swarm size under an accuracy SLO.
+
+    Returns {accuracy_slo: {n_devices: latency_ms or None}}.
+    """
+    out: Dict[float, Dict[int, Optional[float]]] = {}
+    for acc in accuracy_slos:
+        slo = SLO.accuracy(acc)
+        out[acc] = {}
+        for n in device_counts:
+            devices = swarm_devices(n)
+            oracle = MurmurationOracle(space, devices)
+            condition = NetworkCondition((bandwidth_mbps,) * (n - 1),
+                                         (delay_ms,) * (n - 1))
+            s = oracle.decide(slo, condition)
+            out[acc][n] = None if s is None else s.expected_latency_s * 1e3
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 18 — decision time: evolutionary search vs the RL policy
+# ---------------------------------------------------------------------------
+
+def fig18_search_time(space: SearchSpace = MBV3_SPACE,
+                      evolution_config: Optional[EvolutionConfig] = None,
+                      repeats: int = 3) -> Dict[str, Dict[str, float]]:
+    """Wall-clock decision time, projected onto the two device classes.
+
+    Returns {"evolutionary": {device: seconds}, "rl": {device: seconds}}.
+    """
+    devices = augmented_devices()
+    condition = NetworkCondition((200.0,), (20.0,))
+    cluster = Cluster(devices, condition)
+    cfg = evolution_config or EvolutionConfig(population=50, generations=15)
+
+    t0 = time.perf_counter()
+    evolutionary_search(space, cluster, latency_slo_s=0.14, config=cfg)
+    evo_host = time.perf_counter() - t0
+
+    env = MurmurationEnv(space, devices, EnvConfig())
+    policy = LSTMPolicy.for_env(env)
+    task = Task(0.14, condition)
+    context = env.encode_task(task)
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        actions = policy.greedy_actions(context, env.schedule)
+        env.evaluate_actions(actions, task)
+    rl_host = (time.perf_counter() - t0) / repeats
+
+    out: Dict[str, Dict[str, float]] = {"evolutionary": {}, "rl": {}}
+    for dev in (desktop_gtx1080(), rpi4()):
+        out["evolutionary"][dev.name] = evo_host / dev.speed_factor
+        out["rl"][dev.name] = rl_host / dev.speed_factor
+    out["evolutionary"]["host"] = evo_host
+    out["rl"]["host"] = rl_host
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19 — model switch time
+# ---------------------------------------------------------------------------
+
+def fig19_switch_time(space: SearchSpace = MBV3_SPACE,
+                      ) -> Dict[str, float]:
+    """Seconds to switch models on a Raspberry Pi 4.
+
+    Murmuration switches submodels inside the resident supernet; the
+    fixed-model alternatives reload weights from storage.
+    """
+    pi = rpi4()
+    from ..nas.arch import max_arch
+    subnet_blocks = len(build_graph(max_arch(space), space))
+    out = {"Murmuration (supernet reconfig)":
+           supernet_reconfig_time(subnet_blocks, pi)}
+    for name in MODEL_ZOO:
+        graph = get_model(name)
+        out[f"reload {graph.name}"] = model_switch_time(graph, pi,
+                                                        in_memory=False)
+    return out

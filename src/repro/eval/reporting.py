@@ -1,0 +1,132 @@
+"""Text renderers for the figure data (paper-style series/tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from .experiments import MethodPoint
+
+__all__ = ["format_accuracy_grid", "format_compliance", "format_scalability",
+           "format_search_time", "format_switch_time", "format_latency_grid",
+           "accuracy_grid_to_csv", "compliance_to_csv"]
+
+
+def _cell(value: Optional[float], fmt: str = "{:6.1f}") -> str:
+    return fmt.format(value) if value is not None else "     -"
+
+
+def format_accuracy_grid(results: Dict[str, Dict[Tuple[float, float],
+                                                 MethodPoint]],
+                         row_label: str = "delay",
+                         col_label: str = "bw") -> str:
+    """Render {method: {(row, col): point}} as accuracy tables."""
+    lines = []
+    rows = sorted({k[0] for pts in results.values() for k in pts})
+    cols = sorted({k[1] for pts in results.values() for k in pts})
+    for method, pts in results.items():
+        lines.append(f"== {method} (accuracy % | '-' = SLO missed) ==")
+        header = f"{row_label:>10s}\\{col_label:<4s}" + "".join(
+            f"{c:>8.0f}" for c in cols)
+        lines.append(header)
+        for r in rows:
+            cells = "".join(
+                _cell(pts.get((r, c), MethodPoint(False, None, None)).accuracy,
+                      "{:8.1f}") for c in cols)
+            lines.append(f"{r:>15.0f}" + cells)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_latency_grid(results: Dict[str, Dict[Tuple[float, float],
+                                                MethodPoint]],
+                        row_label: str = "bw",
+                        col_label: str = "acc_slo") -> str:
+    """Render {method: {(row, col): point}} as latency (ms) tables."""
+    lines = []
+    rows = sorted({k[0] for pts in results.values() for k in pts})
+    cols = sorted({k[1] for pts in results.values() for k in pts})
+    for method, pts in results.items():
+        lines.append(f"== {method} (latency ms | '-' = SLO missed) ==")
+        header = f"{row_label:>10s}\\{col_label:<7s}" + "".join(
+            f"{c:>8.1f}" for c in cols)
+        lines.append(header)
+        for r in rows:
+            cells = "".join(
+                _cell(pts.get((r, c), MethodPoint(False, None, None)).latency_ms,
+                      "{:8.1f}") for c in cols)
+            lines.append(f"{r:>17.0f}" + cells)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def format_compliance(results: Dict[str, Dict[float, float]],
+                      x_label: str = "latency SLO (ms)") -> str:
+    lines = [f"SLO compliance rate (%) by {x_label}"]
+    xs = sorted({x for pts in results.values() for x in pts})
+    header = f"{'method':<28s}" + "".join(f"{x:>10.0f}" for x in xs)
+    lines.append(header)
+    for method, pts in results.items():
+        cells = "".join(_cell(pts.get(x), "{:10.1f}") for x in xs)
+        lines.append(f"{method:<28s}" + cells)
+    return "\n".join(lines)
+
+
+def format_scalability(results: Dict[float, Dict[int, Optional[float]]]) -> str:
+    lines = ["Murmuration latency (ms) vs number of devices"]
+    counts = sorted({n for pts in results.values() for n in pts})
+    header = f"{'accuracy SLO':<14s}" + "".join(f"{n:>8d}" for n in counts)
+    lines.append(header)
+    for acc, pts in sorted(results.items()):
+        cells = "".join(_cell(pts.get(n), "{:8.1f}") for n in counts)
+        lines.append(f"{acc:<14.1f}" + cells)
+    return "\n".join(lines)
+
+
+def format_search_time(results: Dict[str, Dict[str, float]]) -> str:
+    lines = ["Decision time (seconds)"]
+    for method, per_device in results.items():
+        for device, seconds in per_device.items():
+            lines.append(f"{method:<14s} {device:<18s} {seconds:10.3f}s")
+    return "\n".join(lines)
+
+
+def format_switch_time(results: Dict[str, float]) -> str:
+    lines = ["Model switch time on Raspberry Pi 4"]
+    for name, seconds in results.items():
+        lines.append(f"{name:<42s} {seconds * 1e3:10.2f} ms")
+    return "\n".join(lines)
+
+
+def accuracy_grid_to_csv(results: Dict[str, Dict[Tuple[float, float],
+                                                 MethodPoint]],
+                         path: str, row_label: str = "row",
+                         col_label: str = "col") -> str:
+    """Dump a figure's {method: {(row, col): point}} data as tidy CSV
+    (one observation per line) for external plotting."""
+    import csv
+
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["method", row_label, col_label, "satisfied",
+                    "accuracy", "latency_ms"])
+        for method, pts in results.items():
+            for (r, c), p in sorted(pts.items()):
+                w.writerow([method, r, c, int(p.satisfied),
+                            "" if p.accuracy is None else f"{p.accuracy:.3f}",
+                            "" if p.latency_ms is None
+                            else f"{p.latency_ms:.3f}"])
+    return path
+
+
+def compliance_to_csv(results: Dict[str, Dict[float, float]],
+                      path: str, x_label: str = "slo_ms") -> str:
+    """Dump compliance-bar data as tidy CSV."""
+    import csv
+
+    with open(path, "w", newline="") as f:
+        w = csv.writer(f)
+        w.writerow(["method", x_label, "compliance_pct"])
+        for method, pts in results.items():
+            for x, v in sorted(pts.items()):
+                w.writerow([method, x, f"{v:.3f}"])
+    return path

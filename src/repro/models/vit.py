@@ -1,0 +1,77 @@
+"""Vision Transformer profiles (extension).
+
+Section 4.1 of the paper notes its spatial-partitioning strategy "can
+also be applied to other DNN models such as Vision Transformers, where
+different image patches are sent to different devices for parallel
+attention computation".  This module implements that extension at the
+cost-model level:
+
+* each transformer block is *patch-parallel partitionable* — a tile owns
+  a subset of the patch tokens and computes their queries locally;
+* unlike FDSP conv blocks, attention is **global**: every tile needs all
+  keys/values, so a partitioned block incurs a per-block peer exchange
+  of ~2*N*D elements (``ComputeBlock.sync_elements``), which the latency
+  simulator prices on every link.
+
+The result reproduces the expected behaviour: patch parallelism pays off
+on fast links and collapses on slow ones, where layer-wise splits or
+local execution win.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .graph import ComputeBlock, ModelGraph, linear_flops
+
+__all__ = ["vit_profile", "vit_base_16", "vit_small_16"]
+
+_FP32 = 4
+
+
+def vit_profile(name: str, depth: int, hidden: int, mlp_ratio: int,
+                accuracy: float, resolution: int = 224,
+                patch: int = 16) -> ModelGraph:
+    """Build a ViT cost graph.
+
+    Per block (N tokens, D hidden): attention QKV+proj = 8*N*D^2 MACs,
+    attention matrix = 2*N^2*D MACs, MLP = 2*mlp_ratio*N*D^2 MACs.
+    """
+    n_side = resolution // patch
+    n = n_side * n_side
+    blocks: List[ComputeBlock] = []
+    embed_flops = 2.0 * n * hidden * (3 * patch * patch)
+    blocks.append(ComputeBlock(
+        "patch_embed", flops=embed_flops, out_hw=(n_side, n_side),
+        out_ch=hidden, weight_bytes=3 * patch * patch * hidden * _FP32,
+        partitionable=True, stage=0, halo=0))
+    attn_flops = 2.0 * (4 * n * hidden * hidden + 2 * n * n * hidden)
+    mlp_flops = 2.0 * (2 * mlp_ratio * n * hidden * hidden)
+    block_params = (4 * hidden * hidden
+                    + 2 * mlp_ratio * hidden * hidden) * _FP32
+    # Every tile needs all keys and values: 2 * N * D elements.
+    sync = 2 * n * hidden
+    for i in range(depth):
+        blocks.append(ComputeBlock(
+            f"block{i}", flops=attn_flops + mlp_flops,
+            out_hw=(n_side, n_side), out_ch=hidden,
+            weight_bytes=block_params, partitionable=True, stage=1,
+            halo=0, sync_elements=sync))
+    blocks.append(ComputeBlock(
+        "head", flops=linear_flops(hidden, 1000), out_hw=(1, 1),
+        out_ch=1000, weight_bytes=hidden * 1000 * _FP32,
+        partitionable=False, fused=True, stage=2))
+    return ModelGraph(name, blocks, accuracy,
+                      input_hw=(resolution, resolution))
+
+
+def vit_base_16(accuracy: float = 77.9) -> ModelGraph:
+    """ViT-B/16 (~17.5 GMACs @224, 77.9 % top-1 ImageNet-1k)."""
+    return vit_profile("vit_base_16", depth=12, hidden=768, mlp_ratio=4,
+                       accuracy=accuracy)
+
+
+def vit_small_16(accuracy: float = 74.5) -> ModelGraph:
+    """ViT-S/16 (~4.6 GMACs @224, ~74.5 % top-1 trained from scratch)."""
+    return vit_profile("vit_small_16", depth=12, hidden=384, mlp_ratio=4,
+                       accuracy=accuracy)

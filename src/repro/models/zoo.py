@@ -1,0 +1,265 @@
+"""Fixed baseline model profiles.
+
+Analytical :class:`~repro.models.graph.ModelGraph` builders for the five
+fixed DNNs the paper's baselines run (Neurosurgeon/ADCNN + model):
+MobileNetV3-Large, ResNet50, InceptionV3, DenseNet161 and
+ResNeXt101-32x8d.  FLOPs are computed from the published architecture
+tables; top-1 ImageNet accuracies are the published numbers the paper
+quotes (e.g. DenseNet161 77.1 %, ResNeXt101 79.3 %).
+
+These are *cost profiles*, not executable networks — the baselines only
+need per-block FLOPs, activation sizes and weight bytes to drive the
+distributed-execution simulator, exactly like Neurosurgeon's own
+per-layer profiling step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .graph import ComputeBlock, ModelGraph, conv_flops, linear_flops
+
+__all__ = [
+    "mobilenet_v3_large",
+    "resnet50",
+    "inception_v3",
+    "densenet161",
+    "resnext101_32x8d",
+    "MODEL_ZOO",
+    "get_model",
+]
+
+_FP32 = 4  # bytes per parameter
+
+
+def _head_blocks(h: int, w: int, in_ch: int, hidden, classes: int,
+                 stage: int) -> List[ComputeBlock]:
+    """Global-pool + classifier head (must run on one device).
+
+    ``hidden=None`` means a single FC layer (ResNet/DenseNet style);
+    otherwise a two-layer head (MobileNetV3 style).
+    """
+    if hidden is None:
+        head_flops = linear_flops(in_ch, classes)
+        head_params = (in_ch * classes + classes) * _FP32
+    else:
+        head_flops = linear_flops(in_ch, hidden) + linear_flops(hidden, classes)
+        head_params = (in_ch * hidden + hidden + hidden * classes + classes) * _FP32
+    return [
+        ComputeBlock("head.pool", flops=2.0 * h * w * in_ch, out_hw=(1, 1),
+                     out_ch=in_ch, partitionable=False, fused=True, stage=stage),
+        ComputeBlock("head.fc", flops=head_flops, out_hw=(1, 1), out_ch=classes,
+                     weight_bytes=head_params, partitionable=False, fused=True,
+                     stage=stage),
+    ]
+
+
+# ---------------------------------------------------------------------------
+# MobileNetV3-Large
+# ---------------------------------------------------------------------------
+
+# (kernel, expansion_channels, out_channels, use_se, stride)
+_MBV3_LARGE_SPEC: List[Tuple[int, int, int, bool, int]] = [
+    (3, 16, 16, False, 1),
+    (3, 64, 24, False, 2),
+    (3, 72, 24, False, 1),
+    (5, 72, 40, True, 2),
+    (5, 120, 40, True, 1),
+    (5, 120, 40, True, 1),
+    (3, 240, 80, False, 2),
+    (3, 200, 80, False, 1),
+    (3, 184, 80, False, 1),
+    (3, 184, 80, False, 1),
+    (3, 480, 112, True, 1),
+    (3, 672, 112, True, 1),
+    (5, 672, 160, True, 2),
+    (5, 960, 160, True, 1),
+    (5, 960, 160, True, 1),
+]
+
+
+def _mbconv_flops(h: int, w: int, in_ch: int, exp: int, out_ch: int,
+                  kernel: int, stride: int, use_se: bool) -> Tuple[float, int]:
+    """FLOPs and parameter bytes of one inverted-residual block."""
+    f = conv_flops(h, w, in_ch, exp, 1)                       # expand 1x1
+    f += conv_flops(h, w, exp, exp, kernel, stride, groups=exp)  # depthwise
+    oh, ow = h // stride, w // stride
+    f += conv_flops(oh, ow, exp, out_ch, 1)                   # project 1x1
+    params = in_ch * exp + exp * kernel * kernel + exp * out_ch
+    if use_se:
+        se_hidden = max(1, exp // 4)
+        f += 2.0 * (exp * se_hidden + se_hidden * exp) + 2.0 * oh * ow * exp
+        params += 2 * exp * se_hidden + se_hidden + exp
+    return f, params * _FP32
+
+
+def mobilenet_v3_large(resolution: int = 224,
+                       accuracy: float = 75.2) -> ModelGraph:
+    """MobileNetV3-Large profile (~219 MMACs / 440 MFLOPs @224, 75.2 % top-1)."""
+    blocks: List[ComputeBlock] = []
+    h = w = resolution // 2
+    blocks.append(ComputeBlock(
+        "stem", flops=conv_flops(resolution, resolution, 3, 16, 3, 2),
+        out_hw=(h, w), out_ch=16, weight_bytes=3 * 16 * 9 * _FP32, stage=0))
+    in_ch = 16
+    for i, (k, exp, out_ch, se, stride) in enumerate(_MBV3_LARGE_SPEC):
+        f, p = _mbconv_flops(h, w, in_ch, exp, out_ch, k, stride, se)
+        h, w = h // stride, w // stride
+        blocks.append(ComputeBlock(f"block{i}", flops=f, out_hw=(h, w),
+                                   out_ch=out_ch, weight_bytes=p, stage=1,
+                                   halo=k // 2, depthwise=True))
+        in_ch = out_ch
+    blocks.append(ComputeBlock(
+        "conv_last", flops=conv_flops(h, w, in_ch, 960, 1), out_hw=(h, w),
+        out_ch=960, weight_bytes=in_ch * 960 * _FP32, stage=2))
+    blocks += _head_blocks(h, w, 960, 1280, 1000, stage=3)
+    return ModelGraph("mobilenet_v3_large", blocks, accuracy,
+                      input_hw=(resolution, resolution))
+
+
+# ---------------------------------------------------------------------------
+# ResNet-50 / ResNeXt-101
+# ---------------------------------------------------------------------------
+
+def _bottleneck_flops(h: int, w: int, in_ch: int, mid: int, out_ch: int,
+                      stride: int, groups: int = 1,
+                      downsample: bool = False) -> Tuple[float, int]:
+    f = conv_flops(h, w, in_ch, mid, 1)
+    f += conv_flops(h, w, mid, mid, 3, stride, groups=groups)
+    oh, ow = h // stride, w // stride
+    f += conv_flops(oh, ow, mid, out_ch, 1)
+    params = in_ch * mid + (mid // groups) * mid * 9 + mid * out_ch
+    if downsample:
+        f += conv_flops(h, w, in_ch, out_ch, 1, stride)
+        params += in_ch * out_ch
+    return f, params * _FP32
+
+
+def _resnet_family(name: str, layers: List[int], mid_base: int, groups: int,
+                   width_per_group: int, accuracy: float,
+                   resolution: int = 224) -> ModelGraph:
+    blocks: List[ComputeBlock] = []
+    h = w = resolution // 2
+    blocks.append(ComputeBlock(
+        "stem", flops=conv_flops(resolution, resolution, 3, 64, 7, 2),
+        out_hw=(h, w), out_ch=64, weight_bytes=3 * 64 * 49 * _FP32, stage=0))
+    h, w = h // 2, w // 2  # maxpool
+    blocks.append(ComputeBlock("maxpool", flops=9.0 * h * w * 64,
+                               out_hw=(h, w), out_ch=64, stage=0))
+    in_ch = 64
+    for stage_idx, n_blocks in enumerate(layers):
+        out_ch = 256 * (2 ** stage_idx)
+        if groups == 1:
+            mid = mid_base * (2 ** stage_idx)
+        else:
+            mid = groups * width_per_group * (2 ** stage_idx)
+        for b in range(n_blocks):
+            stride = 2 if (b == 0 and stage_idx > 0) else 1
+            f, p = _bottleneck_flops(h, w, in_ch, mid, out_ch, stride,
+                                     groups=groups, downsample=(b == 0))
+            h, w = h // stride, w // stride
+            blocks.append(ComputeBlock(
+                f"layer{stage_idx + 1}.{b}", flops=f, out_hw=(h, w),
+                out_ch=out_ch, weight_bytes=p, stage=stage_idx + 1))
+            in_ch = out_ch
+    head_f = linear_flops(in_ch, 1000)
+    blocks.append(ComputeBlock("head.pool", flops=2.0 * h * w * in_ch,
+                               out_hw=(1, 1), out_ch=in_ch,
+                               partitionable=False, fused=True, stage=5))
+    blocks.append(ComputeBlock("head.fc", flops=head_f, out_hw=(1, 1),
+                               out_ch=1000, weight_bytes=in_ch * 1000 * _FP32,
+                               partitionable=False, fused=True, stage=5))
+    return ModelGraph(name, blocks, accuracy, input_hw=(resolution, resolution))
+
+
+def resnet50(resolution: int = 224, accuracy: float = 76.1) -> ModelGraph:
+    """ResNet-50 profile (~4.1 GMACs / 8.2 GFLOPs @224, 76.1 % top-1)."""
+    return _resnet_family("resnet50", [3, 4, 6, 3], 64, 1, 0, accuracy,
+                          resolution)
+
+
+def resnext101_32x8d(resolution: int = 224,
+                     accuracy: float = 79.3) -> ModelGraph:
+    """ResNeXt-101 32x8d profile (~16.4 GMACs / 33 GFLOPs @224, 79.3 % top-1)."""
+    return _resnet_family("resnext101_32x8d", [3, 4, 23, 3], 0, 32, 8,
+                          accuracy, resolution)
+
+
+# ---------------------------------------------------------------------------
+# InceptionV3
+# ---------------------------------------------------------------------------
+
+# (name, flops, out_h, out_w, out_ch, params_bytes) — stage-level profile
+# derived from the InceptionV3 architecture at 299x299; totals ~5.7 GFLOPs
+# and ~27M params.
+_INCEPTION_TABLE = [
+    ("stem", 1.72e9, 35, 35, 192, 0.45e6),
+    ("mixed5b", 0.60e9, 35, 35, 256, 0.35e6),
+    ("mixed5c", 0.66e9, 35, 35, 288, 0.40e6),
+    ("mixed5d", 0.70e9, 35, 35, 288, 0.42e6),
+    ("mixed6a", 1.10e9, 17, 17, 768, 1.45e6),
+    ("mixed6b", 1.02e9, 17, 17, 768, 1.85e6),
+    ("mixed6c", 1.10e9, 17, 17, 768, 2.15e6),
+    ("mixed6d", 1.10e9, 17, 17, 768, 2.15e6),
+    ("mixed6e", 1.24e9, 17, 17, 768, 2.40e6),
+    ("mixed7a", 0.72e9, 8, 8, 1280, 2.20e6),
+    ("mixed7b", 0.76e9, 8, 8, 2048, 5.30e6),
+    ("mixed7c", 0.84e9, 8, 8, 2048, 6.70e6),
+]
+
+
+def inception_v3(accuracy: float = 77.3) -> ModelGraph:
+    """InceptionV3 profile (~5.7 GMACs / 11.5 GFLOPs @299, 77.3 % top-1)."""
+    blocks = [
+        ComputeBlock(name, flops=f, out_hw=(h, w), out_ch=c,
+                     weight_bytes=int(p) * _FP32, stage=i, halo=2)
+        for i, (name, f, h, w, c, p) in enumerate(_INCEPTION_TABLE)
+    ]
+    blocks += _head_blocks(8, 8, 2048, None, 1000, stage=len(_INCEPTION_TABLE))
+    return ModelGraph("inception_v3", blocks, accuracy, input_hw=(299, 299))
+
+
+# ---------------------------------------------------------------------------
+# DenseNet-161
+# ---------------------------------------------------------------------------
+
+# Dense blocks/transitions at 224x224; growth 48; totals ~7.8 GFLOPs,
+# ~28.7M params.
+_DENSENET_TABLE = [
+    ("stem", 0.94e9, 56, 56, 96, 0.014e6),
+    ("denseblock1", 2.10e9, 56, 56, 384, 0.8e6),
+    ("transition1", 0.36e9, 28, 28, 192, 0.07e6),
+    ("denseblock2", 3.20e9, 28, 28, 768, 2.7e6),
+    ("transition2", 0.24e9, 14, 14, 384, 0.3e6),
+    ("denseblock3", 5.70e9, 14, 14, 2112, 12.2e6),
+    ("transition3", 0.16e9, 7, 7, 1056, 2.2e6),
+    ("denseblock4", 2.90e9, 7, 7, 2208, 8.2e6),
+]
+
+
+def densenet161(accuracy: float = 77.1) -> ModelGraph:
+    """DenseNet-161 profile (~7.8 GMACs / 15.6 GFLOPs @224, 77.1 % top-1)."""
+    blocks = [
+        ComputeBlock(name, flops=f, out_hw=(h, w), out_ch=c,
+                     weight_bytes=int(p) * _FP32, stage=i,
+                     halo=4 if name.startswith("dense") else 1)
+        for i, (name, f, h, w, c, p) in enumerate(_DENSENET_TABLE)
+    ]
+    blocks += _head_blocks(7, 7, 2208, None, 1000, stage=len(_DENSENET_TABLE))
+    return ModelGraph("densenet161", blocks, accuracy)
+
+
+MODEL_ZOO: Dict[str, object] = {
+    "mobilenet_v3_large": mobilenet_v3_large,
+    "resnet50": resnet50,
+    "inception_v3": inception_v3,
+    "densenet161": densenet161,
+    "resnext101_32x8d": resnext101_32x8d,
+}
+
+
+def get_model(name: str) -> ModelGraph:
+    """Build a zoo model by name."""
+    if name not in MODEL_ZOO:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODEL_ZOO)}")
+    return MODEL_ZOO[name]()  # type: ignore[operator]

@@ -1,0 +1,73 @@
+"""Stage 1: partition-ready one-shot NAS.
+
+Search space, architecture configs, the executable weight-sharing
+supernet, progressive-shrinking training, accuracy models/predictors,
+cost-graph lowering, and the evolutionary-search baseline.
+"""
+
+from .accuracy_model import (
+    ACC_MAX,
+    arch_accuracy,
+    plan_accuracy_penalty,
+    strategy_accuracy,
+)
+from .accuracy_predictor import AccuracyPredictor, fit_predictor
+from .arch import (
+    ArchConfig,
+    crossover_arch,
+    max_arch,
+    min_arch,
+    mutate_arch,
+    random_arch,
+)
+from .dataset import SyntheticImageDataset, downsample
+from .evolution import (
+    EvolutionConfig,
+    EvolutionResult,
+    candidate_plans,
+    evolutionary_search,
+)
+from .graph_builder import build_graph
+from .search_space import MBV3_SPACE, SearchSpace, StageSpec, tiny_space
+from .supernet import Supernet
+from .training import (
+    SupernetTrainer,
+    TrainConfig,
+    TrainResult,
+    evaluate_arch,
+    partition_aware_forward,
+    recalibrate_bn,
+)
+
+__all__ = [
+    "SearchSpace",
+    "StageSpec",
+    "MBV3_SPACE",
+    "tiny_space",
+    "ArchConfig",
+    "max_arch",
+    "min_arch",
+    "random_arch",
+    "mutate_arch",
+    "crossover_arch",
+    "Supernet",
+    "SupernetTrainer",
+    "TrainConfig",
+    "TrainResult",
+    "evaluate_arch",
+    "recalibrate_bn",
+    "partition_aware_forward",
+    "SyntheticImageDataset",
+    "downsample",
+    "ACC_MAX",
+    "arch_accuracy",
+    "plan_accuracy_penalty",
+    "strategy_accuracy",
+    "AccuracyPredictor",
+    "fit_predictor",
+    "build_graph",
+    "EvolutionConfig",
+    "EvolutionResult",
+    "candidate_plans",
+    "evolutionary_search",
+]

@@ -1,0 +1,102 @@
+"""Learned accuracy predictor.
+
+During RL policy training the paper never runs the supernet: an accuracy
+predictor maps an architecture encoding to expected top-1 accuracy.  We
+fit a small MLP (NumPy engine) on samples of the ground-truth accuracy
+source — the calibrated analytical model for ImageNet-scale spaces, or
+measured supernet validation accuracy for the executable tiny space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.layers import Linear, Module, ReLU, Sequential
+from ..nn.optim import Adam
+from .accuracy_model import arch_accuracy
+from .arch import ArchConfig, random_arch
+from .search_space import SearchSpace
+
+__all__ = ["AccuracyPredictor", "fit_predictor"]
+
+
+class AccuracyPredictor(Module):
+    """MLP: arch encoding -> accuracy (percent)."""
+
+    def __init__(self, space: SearchSpace, hidden: int = 64, seed: int = 0):
+        super().__init__()
+        self.space = space
+        rng = np.random.default_rng(seed)
+        in_dim = ArchConfig.encoding_length(space)
+        self.mlp = Sequential(
+            Linear(in_dim, hidden, rng=rng), ReLU(),
+            Linear(hidden, hidden, rng=rng), ReLU(),
+            Linear(hidden, 1, rng=rng),
+        )
+        # Output normalization constants (set during fit).
+        self.mean = 75.0
+        self.std = 2.0
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.mlp(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.mlp.backward(grad)
+
+    def predict(self, arch: ArchConfig) -> float:
+        x = arch.encode(self.space)[None, :]
+        out = self.mlp(x)
+        return float(out[0, 0] * self.std + self.mean)
+
+    def predict_batch(self, archs: List[ArchConfig]) -> np.ndarray:
+        x = np.stack([a.encode(self.space) for a in archs])
+        out = self.mlp(x)
+        return out[:, 0] * self.std + self.mean
+
+
+def fit_predictor(space: SearchSpace,
+                  oracle: Optional[Callable[[ArchConfig], float]] = None,
+                  n_samples: int = 800, epochs: int = 120, lr: float = 3e-3,
+                  seed: int = 0,
+                  predictor: Optional[AccuracyPredictor] = None,
+                  ) -> Tuple[AccuracyPredictor, float]:
+    """Fit a predictor against an accuracy oracle.
+
+    Returns ``(predictor, validation MAE in percentage points)``.
+    The default oracle is the calibrated analytical model.
+    """
+    oracle = oracle or (lambda a: arch_accuracy(a, space))
+    rng = np.random.default_rng(seed)
+    archs = [random_arch(space, rng) for _ in range(n_samples)]
+    x = np.stack([a.encode(space) for a in archs])
+    y = np.array([oracle(a) for a in archs])
+
+    pred = predictor or AccuracyPredictor(space, seed=seed)
+    pred.mean = float(y.mean())
+    pred.std = float(y.std() + 1e-8)
+    t = (y - pred.mean) / pred.std
+
+    n_val = max(1, n_samples // 5)
+    xv, tv = x[:n_val], t[:n_val]
+    xt, tt = x[n_val:], t[n_val:]
+
+    opt = Adam(pred.parameters(), lr=lr)
+    batch = min(64, len(xt))
+    for _ in range(epochs):
+        idx = rng.permutation(len(xt))
+        for s in range(0, len(xt) - batch + 1, batch):
+            sel = idx[s:s + batch]
+            out = pred.mlp(xt[sel])
+            diff = out[:, 0] - tt[sel]
+            grad = (2.0 * diff / len(sel))[:, None]
+            opt.zero_grad()
+            pred.mlp.backward(grad)
+            opt.step()
+
+    out_v = pred.mlp(xv)[:, 0]
+    mae = float(np.abs((out_v - tv) * pred.std).mean())
+    return pred, mae

@@ -1,0 +1,92 @@
+"""Synthetic image-classification dataset.
+
+Stand-in for ImageNet (see DESIGN.md substitutions): class-conditional
+images composed of fixed per-class spatial frequency patterns + color
+biases + additive noise.  The task is learnable by a small CNN but not
+trivially (noise keeps accuracies below 100 %), which is what supernet
+training and the elastic-accuracy tests need.
+
+Images are generated at the maximum resolution of a search space and
+downsampled by average pooling for the elastic-resolution path — the
+same image content at every resolution, as with real resized photos.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+import numpy as np
+
+__all__ = ["SyntheticImageDataset", "downsample"]
+
+
+def downsample(x: np.ndarray, resolution: int) -> np.ndarray:
+    """Average-pool (N, C, H, W) images to ``resolution`` (must divide H)."""
+    n, c, h, w = x.shape
+    if h == resolution:
+        return x
+    if h % resolution:
+        raise ValueError(f"resolution {resolution} does not divide {h}")
+    f = h // resolution
+    return x.reshape(n, c, resolution, f, resolution, f).mean(axis=(3, 5))
+
+
+@dataclass
+class SyntheticImageDataset:
+    """Deterministic synthetic dataset.
+
+    Parameters
+    ----------
+    num_classes : number of classes.
+    resolution : native (maximum) image size.
+    train_size, val_size : split sizes.
+    noise : additive Gaussian noise std (task difficulty knob).
+    seed : generator seed (same seed -> identical dataset).
+    """
+
+    num_classes: int = 10
+    resolution: int = 32
+    train_size: int = 512
+    val_size: int = 256
+    noise: float = 0.55
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = np.random.default_rng(self.seed)
+        r = self.resolution
+        yy, xx = np.mgrid[0:r, 0:r] / r
+        # Per-class signature: two plane waves + a color bias.
+        self._patterns = np.zeros((self.num_classes, 3, r, r))
+        for k in range(self.num_classes):
+            f1, f2 = rng.uniform(1.0, 4.0, 2)
+            th1, th2 = rng.uniform(0, np.pi, 2)
+            wave = (np.sin(2 * np.pi * f1 * (xx * np.cos(th1) + yy * np.sin(th1)))
+                    + np.cos(2 * np.pi * f2 * (xx * np.cos(th2) + yy * np.sin(th2))))
+            color = rng.normal(0, 1.0, 3)
+            self._patterns[k] = wave[None] * 0.5 + color[:, None, None] * 0.4
+        self.x_train, self.y_train = self._make(rng, self.train_size)
+        self.x_val, self.y_val = self._make(rng, self.val_size)
+
+    def _make(self, rng: np.random.Generator,
+              n: int) -> Tuple[np.ndarray, np.ndarray]:
+        y = rng.integers(0, self.num_classes, n)
+        x = self._patterns[y] + rng.normal(0, self.noise,
+                                           (n, 3, self.resolution, self.resolution))
+        return x, y
+
+    # -- iteration -------------------------------------------------------
+    def batches(self, batch_size: int, rng: np.random.Generator,
+                resolution: int = None) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Shuffled training batches (optionally downsampled)."""
+        idx = rng.permutation(self.train_size)
+        res = resolution or self.resolution
+        for start in range(0, self.train_size - batch_size + 1, batch_size):
+            sel = idx[start:start + batch_size]
+            yield downsample(self.x_train[sel], res), self.y_train[sel]
+
+    def val_batch(self, resolution: int = None,
+                  limit: int = None) -> Tuple[np.ndarray, np.ndarray]:
+        res = resolution or self.resolution
+        n = limit or self.val_size
+        return downsample(self.x_val[:n], res), self.y_val[:n]

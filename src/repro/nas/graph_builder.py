@@ -1,0 +1,88 @@
+"""Lower an :class:`~repro.nas.arch.ArchConfig` to a cost
+:class:`~repro.models.graph.ModelGraph`.
+
+The resulting graph feeds the same latency simulator as the fixed
+baseline models, so Murmuration submodels and baselines are priced
+identically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..models.graph import ComputeBlock, ModelGraph, conv_flops, linear_flops
+from .accuracy_model import arch_accuracy
+from .arch import ArchConfig
+from .search_space import SearchSpace
+
+__all__ = ["build_graph"]
+
+_FP32 = 4
+
+
+def _mbconv(h: int, w: int, in_ch: int, expand_ratio: int, out_ch: int,
+            kernel: int, stride: int, use_se: bool):
+    """FLOPs + params of one inverted-residual block (expand ratio form)."""
+    exp = in_ch * expand_ratio
+    f = conv_flops(h, w, in_ch, exp, 1)
+    f += conv_flops(h, w, exp, exp, kernel, stride, groups=exp)
+    oh, ow = h // stride, w // stride
+    f += conv_flops(oh, ow, exp, out_ch, 1)
+    params = in_ch * exp + exp * kernel * kernel + exp * out_ch
+    if use_se:
+        hid = max(1, exp // 4)
+        f += 2.0 * (exp * hid * 2) + 2.0 * oh * ow * exp
+        params += 2 * exp * hid + hid + exp
+    return f, params * _FP32
+
+
+def build_graph(arch: ArchConfig, space: SearchSpace,
+                accuracy: Optional[float] = None) -> ModelGraph:
+    """Build the cost graph of a submodel.
+
+    ``accuracy`` defaults to the calibrated analytical model; pass an
+    explicit value to tag the graph with a measured/predicted accuracy.
+    """
+    arch.validate(space)
+    if accuracy is None:
+        accuracy = arch_accuracy(arch, space)
+
+    res = arch.resolution
+    blocks: List[ComputeBlock] = []
+    h = w = res // 2
+    blocks.append(ComputeBlock(
+        "stem", flops=conv_flops(res, res, 3, space.stem_ch, 3, 2),
+        out_hw=(h, w), out_ch=space.stem_ch,
+        weight_bytes=3 * space.stem_ch * 9 * _FP32, stage=0))
+    in_ch = space.stem_ch
+    for s, spec in enumerate(space.stages):
+        for b in range(arch.depths[s]):
+            slot = arch.slot(space, s, b)
+            stride = spec.stride if b == 0 else 1
+            f, p = _mbconv(h, w, in_ch, arch.expands[slot], spec.out_ch,
+                           arch.kernels[slot], stride, spec.use_se)
+            h, w = h // stride, w // stride
+            blocks.append(ComputeBlock(
+                f"stage{s}.block{b}", flops=f, out_hw=(h, w),
+                out_ch=spec.out_ch, weight_bytes=p, stage=s + 1,
+                halo=arch.kernels[slot] // 2, depthwise=True))
+            in_ch = spec.out_ch
+    blocks.append(ComputeBlock(
+        "conv_last", flops=conv_flops(h, w, in_ch, space.final_ch, 1),
+        out_hw=(h, w), out_ch=space.final_ch,
+        weight_bytes=in_ch * space.final_ch * _FP32,
+        stage=space.num_stages + 1))
+    hh = space.head_hidden
+    nc = space.num_classes
+    head_flops = linear_flops(space.final_ch, hh) + linear_flops(hh, nc)
+    head_params = (space.final_ch * hh + hh + hh * nc + nc) * _FP32
+    blocks.append(ComputeBlock(
+        "head.pool", flops=2.0 * h * w * space.final_ch, out_hw=(1, 1),
+        out_ch=space.final_ch, partitionable=False, fused=True,
+        stage=space.num_stages + 2))
+    blocks.append(ComputeBlock(
+        "head.fc", flops=head_flops, out_hw=(1, 1), out_ch=nc,
+        weight_bytes=head_params, partitionable=False, fused=True,
+        stage=space.num_stages + 2))
+    return ModelGraph("murmuration_subnet", blocks, accuracy,
+                      input_hw=(res, res))

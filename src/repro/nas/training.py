@@ -1,0 +1,218 @@
+"""Progressive-shrinking supernet training (paper Stage 1).
+
+Implements the OFA-style recipe the paper builds on:
+
+1. **Warmup** — train only the max submodel.
+2. **Progressive shrinking** — phase by phase, open up elastic kernel,
+   then depth, then expand (and resolution throughout), sampling random
+   submodels each step.
+3. **In-place distillation** — sampled submodels are trained against the
+   soft labels of the max submodel, which stabilizes weight sharing.
+4. **Partition/quantization awareness** — with some probability a step
+   runs the submodel with FDSP fake-partitioning and wire fake-
+   quantization, so shared weights stay robust to the runtime settings
+   (this is the paper's "partition-ready" addition to one-shot NAS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.optim import SGD, CosineLR, clip_grad_norm
+from ..nn.quantize import fake_quantize
+from ..partition.spatial import Grid, merge_tiles, split_tiles
+from .arch import ArchConfig, max_arch, random_arch
+from .dataset import SyntheticImageDataset, downsample
+from .search_space import SearchSpace
+from .supernet import Supernet
+
+__all__ = ["TrainConfig", "TrainResult", "SupernetTrainer",
+           "evaluate_arch", "recalibrate_bn", "partition_aware_forward"]
+
+
+@dataclass
+class TrainConfig:
+    warmup_steps: int = 80
+    steps_per_phase: int = 50
+    batch_size: int = 32
+    lr: float = 0.05
+    momentum: float = 0.9
+    weight_decay: float = 1e-4
+    distill_weight: float = 0.5
+    max_net_prob: float = 0.3   # fraction of phase steps training the max net
+    partition_prob: float = 0.25
+    quantize_prob: float = 0.25
+    seed: int = 0
+
+
+@dataclass
+class TrainResult:
+    phase_names: List[str] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+    val_accuracy: Dict[str, float] = field(default_factory=dict)
+
+
+def partition_aware_forward(net: Supernet, x: np.ndarray, arch: ArchConfig,
+                            grid: Grid, halo: int = 1) -> np.ndarray:
+    """Eval-style forward with the stem FDSP-partitioned into ``grid``.
+
+    Each tile runs the stem independently with zero-padded borders (the
+    FDSP approximation); the merged feature map continues through the
+    rest of the network.  Used during training to expose shared weights
+    to partitioning noise; the real distributed executor does the same
+    per-plan.
+    """
+    if grid.ntiles == 1:
+        return net.forward_arch(x, arch)
+    units = net.active_units(arch)
+    stem = units[0]
+    tiles = split_tiles(x, grid, halo=halo)
+    outs = [net.units[stem].run(t, arch, net.space) for t in tiles]
+    # Stem has stride 2: the output halo shrinks accordingly.
+    out_h = x.shape[2] // 2
+    out_halo = max(halo // 2, 0)
+    merged = merge_tiles([o for o in outs], grid, (out_h, out_h),
+                         halo=out_halo)
+    return net.run_units(merged, arch, units[1:])
+
+
+def recalibrate_bn(net: Supernet, dataset: SyntheticImageDataset,
+                   arch: ArchConfig, batches: int = 3,
+                   batch_size: int = 32, seed: int = 0) -> None:
+    """Refresh batch-norm running statistics for one submodel.
+
+    Weight-sharing corrupts BN statistics: each sampled submodel sees a
+    different channel slice, so the shared running mean/var drift away
+    from any *particular* submodel's activation statistics.  OFA-style
+    recalibration — a few training-mode forward passes of the target
+    submodel over training data, with no weight updates — restores them
+    before evaluation or deployment.
+    """
+    rng = np.random.default_rng(seed)
+    # Blend quickly toward this submodel's statistics.
+    bns = [m for m in net.modules() if hasattr(m, "running_mean")]
+    old_momentum = [getattr(m, "momentum", None) for m in bns]
+    for m in bns:
+        m.momentum = 0.4
+    net.train()
+    for _ in range(batches):
+        idx = rng.integers(0, dataset.train_size, batch_size)
+        x = downsample(dataset.x_train[idx], arch.resolution)
+        net.forward_arch(x, arch)
+    for m, mom in zip(bns, old_momentum):
+        m.momentum = mom
+
+
+def evaluate_arch(net: Supernet, dataset: SyntheticImageDataset,
+                  arch: ArchConfig, limit: Optional[int] = None,
+                  recalibrate: bool = True) -> float:
+    """Validation top-1 accuracy (percent) of one submodel.
+
+    BN statistics are recalibrated for the submodel first (OFA recipe);
+    pass ``recalibrate=False`` to measure with the shared stats as-is.
+    """
+    if recalibrate:
+        recalibrate_bn(net, dataset, arch)
+    net.eval()
+    x, y = dataset.val_batch(resolution=arch.resolution, limit=limit)
+    logits = net.forward_arch(x, arch)
+    acc = float((logits.argmax(axis=1) == y).mean() * 100.0)
+    net.train()
+    return acc
+
+
+class SupernetTrainer:
+    """Progressive-shrinking trainer with in-place distillation."""
+
+    def __init__(self, net: Supernet, dataset: SyntheticImageDataset,
+                 config: Optional[TrainConfig] = None):
+        self.net = net
+        self.space = net.space
+        self.dataset = dataset
+        self.cfg = config or TrainConfig()
+        self.rng = np.random.default_rng(self.cfg.seed)
+        self.opt = SGD(net.parameters(), lr=self.cfg.lr,
+                       momentum=self.cfg.momentum,
+                       weight_decay=self.cfg.weight_decay)
+        total = self.cfg.warmup_steps + 3 * self.cfg.steps_per_phase
+        self.sched = CosineLR(self.opt, total_steps=total, min_lr=self.cfg.lr / 20)
+        self._max = max_arch(self.space)
+
+    # -- sampling ------------------------------------------------------------
+    def _sample_arch(self, phase: str) -> ArchConfig:
+        """Sample within the elastic dimensions opened so far."""
+        a = random_arch(self.space, self.rng)
+        mx = self._max
+        if phase == "warmup" or self.rng.random() < self.cfg.max_net_prob:
+            # OFA keeps training the max net throughout shrinking so the
+            # distillation teacher stays sharp.
+            return mx
+        kernels = a.kernels if phase in ("kernel", "depth", "expand") else mx.kernels
+        depths = a.depths if phase in ("depth", "expand") else mx.depths
+        expands = a.expands if phase == "expand" else mx.expands
+        return ArchConfig(a.resolution, depths, kernels, expands)
+
+    # -- steps ----------------------------------------------------------------
+    def _soft_labels(self, x: np.ndarray) -> np.ndarray:
+        self.net.eval()
+        logits = self.net.forward_arch(x, self._max)
+        self.net.train()
+        return F.softmax(logits, axis=-1)
+
+    def train_step(self, x: np.ndarray, y: np.ndarray,
+                   arch: ArchConfig, distill: bool) -> float:
+        cfg = self.cfg
+        if cfg.quantize_prob > 0 and self.rng.random() < cfg.quantize_prob:
+            bits = int(self.rng.choice([8, 16]))
+            x = fake_quantize(x, bits)
+        soft = None
+        if distill and cfg.distill_weight > 0:
+            soft = self._soft_labels(x)
+        logits = self.net.forward_arch(x, arch)
+        loss_hard, cache_hard = F.cross_entropy(logits, y)
+        grad = F.cross_entropy_backward(cache_hard)
+        loss = loss_hard
+        if soft is not None:
+            loss_soft, cache_soft = F.cross_entropy(logits, y, soft_targets=soft)
+            w = cfg.distill_weight
+            grad = (1 - w) * grad + w * F.cross_entropy_backward(cache_soft)
+            loss = (1 - w) * loss_hard + w * loss_soft
+        self.opt.zero_grad()
+        self.net.backward(grad)
+        clip_grad_norm(self.net.parameters(), 5.0)
+        self.opt.step()
+        self.sched.step()
+        return float(loss)
+
+    # -- driver -----------------------------------------------------------------
+    def train(self, phases: Sequence[str] = ("warmup", "kernel", "depth",
+                                             "expand")) -> TrainResult:
+        result = TrainResult()
+        cfg = self.cfg
+        for phase in phases:
+            steps = cfg.warmup_steps if phase == "warmup" else cfg.steps_per_phase
+            done = 0
+            while done < steps:
+                for x, y in self.dataset.batches(cfg.batch_size, self.rng):
+                    arch = self._sample_arch(phase)
+                    if arch.resolution != x.shape[2]:
+                        x = downsample(
+                            x, arch.resolution) if arch.resolution < x.shape[2] else x
+                    loss = self.train_step(x, y, arch,
+                                           distill=(phase != "warmup"))
+                    result.phase_names.append(phase)
+                    result.losses.append(loss)
+                    done += 1
+                    if done >= steps:
+                        break
+        # Headline validation numbers.
+        from .arch import min_arch
+        result.val_accuracy["max"] = evaluate_arch(self.net, self.dataset,
+                                                   self._max)
+        result.val_accuracy["min"] = evaluate_arch(self.net, self.dataset,
+                                                   min_arch(self.space))
+        return result

@@ -1,0 +1,57 @@
+"""Point-to-point links.
+
+The paper shapes a 1 Gbps wired testbed with ``tc`` into (bandwidth,
+delay) pairs; a :class:`Link` models exactly those two parameters plus a
+fixed per-message RPC overhead (serialization + gRPC framing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["Link", "LOOPBACK"]
+
+
+@dataclass(frozen=True)
+class Link:
+    """One direction of a network path between two devices.
+
+    Attributes
+    ----------
+    bandwidth_mbps : usable bandwidth in megabits/second.
+    delay_ms : one-way propagation delay in milliseconds.
+    rpc_overhead_ms : fixed per-message cost (serialization, framing).
+    """
+
+    bandwidth_mbps: float
+    delay_ms: float
+    rpc_overhead_ms: float = 1.0
+
+    def __post_init__(self):
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if self.delay_ms < 0:
+            raise ValueError(f"delay must be non-negative, got {self.delay_ms}")
+
+    @property
+    def bandwidth_bps(self) -> float:
+        return self.bandwidth_mbps * 1e6
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to deliver ``nbytes``: delay + serialization + wire time."""
+        return ((self.delay_ms + self.rpc_overhead_ms) / 1e3
+                + nbytes * 8.0 / self.bandwidth_bps)
+
+    def with_conditions(self, bandwidth_mbps: float = None,
+                        delay_ms: float = None) -> "Link":
+        """Copy with updated conditions (dynamic-environment updates)."""
+        kw = {}
+        if bandwidth_mbps is not None:
+            kw["bandwidth_mbps"] = bandwidth_mbps
+        if delay_ms is not None:
+            kw["delay_ms"] = delay_ms
+        return replace(self, **kw)
+
+
+#: Zero-cost link a device has to itself.
+LOOPBACK = Link(bandwidth_mbps=1e9, delay_ms=0.0, rpc_overhead_ms=0.0)

@@ -1,0 +1,140 @@
+"""Arbitrary mesh topologies (extension).
+
+The paper's deployments are stars (one switch); real edge swarms —
+drones relaying for each other, multi-hop sensor fields — are not.  This
+module generalizes :class:`~repro.netsim.topology.Cluster` to an
+arbitrary link graph: transfers route along the minimum-latency path
+(computed with networkx), paying every hop's delay and the bottleneck
+hop's bandwidth.
+
+A :class:`MeshCluster` is a drop-in replacement wherever a ``Cluster``
+is consumed (the latency simulator, the executor's transport) because it
+exposes the same ``devices`` / ``device()`` / ``transfer_time()``
+surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from ..devices.profiles import DeviceProfile
+from .link import Link
+
+__all__ = ["MeshLink", "MeshCluster", "line_topology", "ring_topology"]
+
+
+@dataclass(frozen=True)
+class MeshLink:
+    """One bidirectional edge of the mesh."""
+
+    a: int
+    b: int
+    bandwidth_mbps: float
+    delay_ms: float
+
+    def __post_init__(self):
+        if self.a == self.b:
+            raise ValueError("self-loops are not links")
+        if self.bandwidth_mbps <= 0 or self.delay_ms < 0:
+            raise ValueError("invalid link parameters")
+
+
+class MeshCluster:
+    """Devices connected by an arbitrary set of links.
+
+    Routing: min-delay path (Dijkstra on delay); a transfer pays the sum
+    of hop delays, one RPC overhead, and wire time at the bottleneck
+    bandwidth along the path (store-and-forward pipelining collapses the
+    per-hop serialization to the slowest hop for large payloads).
+    """
+
+    def __init__(self, devices: Sequence[DeviceProfile],
+                 links: Sequence[MeshLink], rpc_overhead_ms: float = 1.0):
+        if not devices:
+            raise ValueError("need at least one device")
+        self.devices: List[DeviceProfile] = list(devices)
+        self.rpc_overhead_ms = rpc_overhead_ms
+        self._graph = nx.Graph()
+        self._graph.add_nodes_from(range(len(self.devices)))
+        for link in links:
+            n = len(self.devices)
+            if not (0 <= link.a < n and 0 <= link.b < n):
+                raise ValueError(f"link {link} references unknown device")
+            self._graph.add_edge(link.a, link.b,
+                                 delay=link.delay_ms,
+                                 bandwidth=link.bandwidth_mbps)
+        self._path_cache: Dict[Tuple[int, int], Tuple[float, float]] = {}
+
+    # -- Cluster-compatible surface ----------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def local(self) -> DeviceProfile:
+        return self.devices[0]
+
+    def device(self, i: int) -> DeviceProfile:
+        return self.devices[i]
+
+    def link_to(self, i: int) -> Link:
+        """Equivalent single link local<->i (for delay introspection)."""
+        delay, bw = self._route(0, i)
+        return Link(bandwidth_mbps=bw, delay_ms=delay,
+                    rpc_overhead_ms=self.rpc_overhead_ms)
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self._graph)
+
+    def _route(self, src: int, dst: int) -> Tuple[float, float]:
+        """(total path delay ms, bottleneck bandwidth Mbps)."""
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        try:
+            path = nx.shortest_path(self._graph, src, dst, weight="delay")
+        except nx.NetworkXNoPath as exc:
+            raise ValueError(f"no route between {src} and {dst}") from exc
+        delay = 0.0
+        bw = float("inf")
+        for a, b in zip(path, path[1:]):
+            edge = self._graph.edges[a, b]
+            delay += edge["delay"]
+            bw = min(bw, edge["bandwidth"])
+        self._path_cache[key] = (delay, bw)
+        self._path_cache[(dst, src)] = (delay, bw)
+        return delay, bw
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        if src == dst:
+            return 0.0
+        delay, bw = self._route(src, dst)
+        return ((delay + self.rpc_overhead_ms) / 1e3
+                + nbytes * 8.0 / (bw * 1e6))
+
+    def hop_count(self, src: int, dst: int) -> int:
+        if src == dst:
+            return 0
+        return len(nx.shortest_path(self._graph, src, dst,
+                                    weight="delay")) - 1
+
+
+def line_topology(devices: Sequence[DeviceProfile], bandwidth_mbps: float,
+                  delay_ms: float) -> MeshCluster:
+    """A relay chain: 0 - 1 - 2 - ... (drone daisy-chains)."""
+    links = [MeshLink(i, i + 1, bandwidth_mbps, delay_ms)
+             for i in range(len(devices) - 1)]
+    return MeshCluster(devices, links)
+
+
+def ring_topology(devices: Sequence[DeviceProfile], bandwidth_mbps: float,
+                  delay_ms: float) -> MeshCluster:
+    """A ring: the chain plus a closing edge (two disjoint routes)."""
+    n = len(devices)
+    links = [MeshLink(i, (i + 1) % n, bandwidth_mbps, delay_ms)
+             for i in range(n)]
+    return MeshCluster(devices, links)

@@ -1,0 +1,119 @@
+"""Network monitoring (Section 5's Network Monitoring module).
+
+Combines *active* probes (ping-style RTT, iperf-style bandwidth
+estimates) with *passive* observations (timing actual data transfers).
+Measurements carry realistic multiplicative noise; an exponentially
+weighted moving average smooths them, and the most recent smoothed
+estimate forms the condition fed to the decision module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .topology import Cluster, NetworkCondition
+
+__all__ = ["Measurement", "NetworkMonitor"]
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One monitoring sample for one remote device."""
+
+    device: int
+    bandwidth_mbps: float
+    delay_ms: float
+    timestamp: float
+    source: str  # "active" | "passive"
+
+
+class NetworkMonitor:
+    """Samples the (simulated) true link state with measurement noise.
+
+    Parameters
+    ----------
+    cluster : the cluster whose links are observed.
+    noise : relative std-dev of active-probe error (passive observations
+        are noisier: real transfers share the link with inference traffic).
+    ewma_alpha : smoothing factor; 1.0 = trust the latest sample fully.
+    """
+
+    def __init__(self, cluster: Cluster, noise: float = 0.05,
+                 ewma_alpha: float = 0.5, seed: int = 0):
+        self.cluster = cluster
+        self.noise = noise
+        self.ewma_alpha = ewma_alpha
+        self._rng = np.random.default_rng(seed)
+        self._history: List[Measurement] = []
+        self._smoothed_bw: Dict[int, float] = {}
+        self._smoothed_delay: Dict[int, float] = {}
+
+    # -- probing -------------------------------------------------------------
+    def _observe(self, device: int, now: float, relative_noise: float,
+                 source: str) -> Measurement:
+        cond = self.cluster.condition
+        true_bw = cond.bandwidths_mbps[device - 1]
+        true_delay = cond.delays_ms[device - 1]
+        bw = true_bw * float(self._rng.lognormal(0.0, relative_noise))
+        delay = true_delay * float(self._rng.lognormal(0.0, relative_noise))
+        m = Measurement(device, bw, delay, now, source)
+        self._ingest(m)
+        return m
+
+    def active_probe(self, device: int, now: float = 0.0) -> Measurement:
+        """Ping + short bandwidth probe against one remote device."""
+        if not (1 <= device < self.cluster.num_devices):
+            raise ValueError(f"device {device} is not a remote device")
+        return self._observe(device, now, self.noise, "active")
+
+    def passive_observe(self, device: int, nbytes: float, elapsed_s: float,
+                        now: float = 0.0) -> Measurement:
+        """Derive link state from a timed real transfer."""
+        if elapsed_s <= 0:
+            raise ValueError("elapsed time must be positive")
+        return self._observe(device, now, self.noise * 2.0, "passive")
+
+    def probe_all(self, now: float = 0.0) -> List[Measurement]:
+        return [self.active_probe(d, now)
+                for d in range(1, self.cluster.num_devices)]
+
+    # -- state ---------------------------------------------------------------
+    def _ingest(self, m: Measurement) -> None:
+        self._history.append(m)
+        a = self.ewma_alpha
+        if m.device in self._smoothed_bw:
+            self._smoothed_bw[m.device] = (
+                a * m.bandwidth_mbps + (1 - a) * self._smoothed_bw[m.device])
+            self._smoothed_delay[m.device] = (
+                a * m.delay_ms + (1 - a) * self._smoothed_delay[m.device])
+        else:
+            self._smoothed_bw[m.device] = m.bandwidth_mbps
+            self._smoothed_delay[m.device] = m.delay_ms
+
+    @property
+    def history(self) -> List[Measurement]:
+        return list(self._history)
+
+    def estimate(self) -> NetworkCondition:
+        """Current smoothed estimate of all links.
+
+        Devices never probed fall back to the true condition (the monitor
+        is bootstrapped with one probe round in the runtime).
+        """
+        n = self.cluster.num_devices - 1
+        cond = self.cluster.condition
+        bws, delays = [], []
+        for d in range(1, n + 1):
+            bws.append(self._smoothed_bw.get(d, cond.bandwidths_mbps[d - 1]))
+            delays.append(self._smoothed_delay.get(d, cond.delays_ms[d - 1]))
+        return NetworkCondition(tuple(bws), tuple(delays))
+
+    def device_series(self, device: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(timestamps, bandwidths, delays) history for one device."""
+        ms = [m for m in self._history if m.device == device]
+        return (np.array([m.timestamp for m in ms]),
+                np.array([m.bandwidth_mbps for m in ms]),
+                np.array([m.delay_ms for m in ms]))

@@ -1,0 +1,120 @@
+"""Device cluster topology.
+
+Murmuration's deployment is a *star*: one local device (the one holding
+the input and receiving the result — device id 0) plus N remote devices,
+each reachable over its own (bandwidth, delay) link.  Remote-to-remote
+traffic relays through the switch, modelled as the composition of the two
+links.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..devices.profiles import DeviceProfile
+from .link import LOOPBACK, Link
+
+__all__ = ["Cluster", "NetworkCondition"]
+
+
+@dataclass(frozen=True)
+class NetworkCondition:
+    """Bandwidths/delays for every remote device (index 0 = remote #1).
+
+    This is the "task" of the multi-task RL formulation: a point in the
+    joint (bandwidth, delay) space of all remote links.
+    """
+
+    bandwidths_mbps: Tuple[float, ...]
+    delays_ms: Tuple[float, ...]
+
+    def __post_init__(self):
+        if len(self.bandwidths_mbps) != len(self.delays_ms):
+            raise ValueError("bandwidths and delays must have equal length")
+
+    @property
+    def num_remote(self) -> int:
+        return len(self.bandwidths_mbps)
+
+    @staticmethod
+    def uniform(num_remote: int, bandwidth_mbps: float,
+                delay_ms: float) -> "NetworkCondition":
+        return NetworkCondition((bandwidth_mbps,) * num_remote,
+                                (delay_ms,) * num_remote)
+
+    def as_vector(self) -> List[float]:
+        """Flat [bw..., delay...] vector for state encodings."""
+        return list(self.bandwidths_mbps) + list(self.delays_ms)
+
+
+class Cluster:
+    """A local device + remote devices + the links between them."""
+
+    def __init__(self, devices: Sequence[DeviceProfile],
+                 condition: NetworkCondition,
+                 rpc_overhead_ms: float = 1.0):
+        if len(devices) < 1:
+            raise ValueError("need at least the local device")
+        if condition.num_remote != len(devices) - 1:
+            raise ValueError(
+                f"condition covers {condition.num_remote} remote devices but "
+                f"cluster has {len(devices) - 1}")
+        self.devices: List[DeviceProfile] = list(devices)
+        self.condition = condition
+        self.rpc_overhead_ms = rpc_overhead_ms
+        self._links: Dict[int, Link] = {}
+        self._rebuild_links()
+
+    def _rebuild_links(self) -> None:
+        self._links = {0: LOOPBACK}
+        for i in range(1, len(self.devices)):
+            self._links[i] = Link(
+                bandwidth_mbps=self.condition.bandwidths_mbps[i - 1],
+                delay_ms=self.condition.delays_ms[i - 1],
+                rpc_overhead_ms=self.rpc_overhead_ms)
+
+    # -- queries ---------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def local(self) -> DeviceProfile:
+        return self.devices[0]
+
+    def device(self, i: int) -> DeviceProfile:
+        return self.devices[i]
+
+    def link_to(self, i: int) -> Link:
+        """Link between the local device and device ``i``."""
+        return self._links[i]
+
+    def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
+        """Transfer time between any two devices.
+
+        Local<->remote uses that remote's link; remote<->remote relays
+        through the switch (sum of wire times, max of the two delays once
+        each — the star's switch forwards as it receives).
+        """
+        if src == dst:
+            return 0.0
+        if src == 0 or dst == 0:
+            other = dst if src == 0 else src
+            return self._links[other].transfer_time(nbytes)
+        a, b = self._links[src], self._links[dst]
+        wire = nbytes * 8.0 / min(a.bandwidth_bps, b.bandwidth_bps)
+        latency = (a.delay_ms + b.delay_ms + a.rpc_overhead_ms) / 1e3
+        return wire + latency
+
+    # -- dynamics ----------------------------------------------------------
+    def set_condition(self, condition: NetworkCondition) -> None:
+        """Apply new network conditions (mobility / contention events)."""
+        if condition.num_remote != self.num_devices - 1:
+            raise ValueError("condition dimensionality changed")
+        self.condition = condition
+        self._rebuild_links()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = [d.name for d in self.devices]
+        return f"Cluster(devices={names}, condition={self.condition})"

@@ -1,0 +1,86 @@
+"""Dynamic network-condition traces.
+
+The paper motivates Murmuration with *dynamic* edge environments (device
+mobility, contention).  These generators produce time series of
+:class:`~repro.netsim.topology.NetworkCondition` that the runtime
+examples and the monitoring-predictor tests replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .topology import NetworkCondition
+
+__all__ = ["TraceConfig", "random_walk_trace", "step_trace", "mobility_trace"]
+
+
+@dataclass(frozen=True)
+class TraceConfig:
+    num_remote: int = 1
+    bw_range: Tuple[float, float] = (50.0, 400.0)
+    delay_range: Tuple[float, float] = (5.0, 100.0)
+    steps: int = 100
+    seed: int = 0
+
+
+def _clip(v: np.ndarray, lo: float, hi: float) -> np.ndarray:
+    return np.clip(v, lo, hi)
+
+
+def random_walk_trace(cfg: TraceConfig) -> List[NetworkCondition]:
+    """Smooth random walk: bandwidth and delay drift step to step.
+
+    Models gradual signal-strength change as a device moves.
+    """
+    rng = np.random.default_rng(cfg.seed)
+    blo, bhi = cfg.bw_range
+    dlo, dhi = cfg.delay_range
+    bw = rng.uniform(blo, bhi, cfg.num_remote)
+    delay = rng.uniform(dlo, dhi, cfg.num_remote)
+    out = []
+    for _ in range(cfg.steps):
+        bw = _clip(bw + rng.normal(0, 0.05 * (bhi - blo), cfg.num_remote), blo, bhi)
+        delay = _clip(delay + rng.normal(0, 0.05 * (dhi - dlo), cfg.num_remote),
+                      dlo, dhi)
+        out.append(NetworkCondition(tuple(bw), tuple(delay)))
+    return out
+
+
+def step_trace(cfg: TraceConfig, period: int = 20) -> List[NetworkCondition]:
+    """Abrupt condition changes every ``period`` steps (handover events)."""
+    rng = np.random.default_rng(cfg.seed)
+    blo, bhi = cfg.bw_range
+    dlo, dhi = cfg.delay_range
+    out: List[NetworkCondition] = []
+    current: Optional[NetworkCondition] = None
+    for t in range(cfg.steps):
+        if current is None or t % period == 0:
+            current = NetworkCondition(
+                tuple(rng.uniform(blo, bhi, cfg.num_remote)),
+                tuple(rng.uniform(dlo, dhi, cfg.num_remote)))
+        out.append(current)
+    return out
+
+
+def mobility_trace(cfg: TraceConfig) -> List[NetworkCondition]:
+    """Sinusoidal approach/retreat pattern: bandwidth peaks while delay
+    bottoms as the device passes close to the access point."""
+    blo, bhi = cfg.bw_range
+    dlo, dhi = cfg.delay_range
+    rng = np.random.default_rng(cfg.seed)
+    phase = rng.uniform(0, 2 * np.pi, cfg.num_remote)
+    out = []
+    for t in range(cfg.steps):
+        s = np.sin(2 * np.pi * t / max(cfg.steps, 1) * 2 + phase) * 0.5 + 0.5
+        bw = blo + (bhi - blo) * s
+        delay = dhi - (dhi - dlo) * s
+        noise_b = rng.normal(0, 0.02 * (bhi - blo), cfg.num_remote)
+        noise_d = rng.normal(0, 0.02 * (dhi - dlo), cfg.num_remote)
+        out.append(NetworkCondition(
+            tuple(_clip(bw + noise_b, blo, bhi)),
+            tuple(_clip(delay + noise_d, dlo, dhi))))
+    return out

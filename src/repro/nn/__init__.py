@@ -1,0 +1,63 @@
+"""NumPy neural-network substrate.
+
+A self-contained, dependency-free (NumPy-only) NN engine providing exactly
+what the Murmuration reproduction needs: vectorized conv/depthwise-conv/
+linear/batchnorm layers with manual backprop, MobileNetV3 activations, an
+LSTM cell with BPTT for the RL policy, optimizers, and feature-map
+quantization.
+"""
+
+from . import functional
+from .layers import (
+    BatchNorm2d,
+    Conv2d,
+    DepthwiseConv2d,
+    Flatten,
+    GlobalAvgPool,
+    HSigmoid,
+    HSwish,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    SqueezeExcite,
+)
+from .lstm import LSTMCell
+from .optim import SGD, Adam, CosineLR, clip_grad_norm
+from .quantize import (
+    SUPPORTED_BITS,
+    QuantizedTensor,
+    dequantize,
+    fake_quantize,
+    quantize,
+    wire_bytes,
+)
+
+__all__ = [
+    "functional",
+    "Module",
+    "Parameter",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "Linear",
+    "ReLU",
+    "HSwish",
+    "HSigmoid",
+    "GlobalAvgPool",
+    "Flatten",
+    "SqueezeExcite",
+    "Sequential",
+    "LSTMCell",
+    "SGD",
+    "Adam",
+    "CosineLR",
+    "clip_grad_norm",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "wire_bytes",
+    "SUPPORTED_BITS",
+]

@@ -1,0 +1,44 @@
+"""Weight initializers.
+
+All initializers accept an optional ``numpy.random.Generator`` so callers
+control determinism; a module-level default generator keeps ad-hoc use
+reproducible too.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+_DEFAULT_RNG = np.random.default_rng(0x5EED)
+
+
+def _rng(rng: Optional[np.random.Generator]) -> np.random.Generator:
+    return rng if rng is not None else _DEFAULT_RNG
+
+
+def he_normal(shape: Tuple[int, ...], fan_in: int,
+              rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Kaiming-He normal init for ReLU-family nonlinearities."""
+    std = np.sqrt(2.0 / max(1, fan_in))
+    return _rng(rng).normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Glorot uniform init for linear/tanh layers."""
+    limit = np.sqrt(6.0 / max(1, fan_in + fan_out))
+    return _rng(rng).uniform(-limit, limit, size=shape)
+
+
+def orthogonal(shape: Tuple[int, int], gain: float = 1.0,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Orthogonal init (recommended for recurrent weights)."""
+    rows, cols = shape
+    a = _rng(rng).normal(0.0, 1.0, size=(max(rows, cols), min(rows, cols)))
+    q, r = np.linalg.qr(a)
+    q *= np.sign(np.diag(r))  # make deterministic up to the RNG draw
+    if rows < cols:
+        q = q.T
+    return gain * q[:rows, :cols]

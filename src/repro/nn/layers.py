@@ -1,0 +1,349 @@
+"""Layer/module abstraction on top of :mod:`repro.nn.functional`.
+
+A deliberately small, explicit module system: every :class:`Module` owns
+named :class:`Parameter` objects, caches whatever its backward pass needs
+during ``forward``, and returns input gradients from ``backward``.  There
+is no tape/autograd — the composition order of a CNN is static, so manual
+chaining is simpler and faster to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .init import he_normal, xavier_uniform
+
+__all__ = [
+    "Parameter",
+    "Module",
+    "Conv2d",
+    "DepthwiseConv2d",
+    "BatchNorm2d",
+    "Linear",
+    "ReLU",
+    "HSwish",
+    "HSigmoid",
+    "GlobalAvgPool",
+    "Flatten",
+    "SqueezeExcite",
+    "Sequential",
+]
+
+
+class Parameter:
+    """A trainable array with its accumulated gradient."""
+
+    __slots__ = ("data", "grad", "name")
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class; subclasses register parameters and submodules."""
+
+    def __init__(self) -> None:
+        self._params: Dict[str, Parameter] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ------------------------------------------------------
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        param.name = name
+        self._params[name] = param
+        return param
+
+    def register_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_params", {})[name] = value
+            value.name = name
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    # -- traversal -----------------------------------------------------------
+    def parameters(self) -> Iterator[Parameter]:
+        yield from self._params.values()
+        for m in self._modules.values():
+            yield from m.parameters()
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, p in self._params.items():
+            yield prefix + name, p
+        for mname, m in self._modules.items():
+            yield from m.named_parameters(prefix + mname + ".")
+
+    def modules(self) -> Iterator["Module"]:
+        yield self
+        for m in self._modules.values():
+            yield from m.modules()
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        for m in self.modules():
+            m.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        return sum(p.data.size for p in self.parameters())
+
+    # -- state dict ----------------------------------------------------------
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        out = {}
+        for name, p in self.named_parameters():
+            out[name] = p.data.copy()
+        return out
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        for name, p in self.named_parameters():
+            if name not in state:
+                raise KeyError(f"missing parameter {name!r} in state dict")
+            if state[name].shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: {state[name].shape} vs {p.data.shape}")
+            p.data[...] = state[name]
+
+    # -- interface -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Conv2d(Module):
+    """Standard convolution with optional bias."""
+
+    def __init__(self, in_ch: int, out_ch: int, kernel: int, stride: int = 1,
+                 pad: Optional[int] = None, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_ch, self.out_ch = in_ch, out_ch
+        self.kernel, self.stride = kernel, stride
+        self.pad = pad if pad is not None else kernel // 2
+        self.weight = Parameter(
+            he_normal((out_ch, in_ch, kernel, kernel), fan_in=in_ch * kernel * kernel,
+                      rng=rng))
+        self.bias = Parameter(np.zeros(out_ch)) if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        b = self.bias.data if self.bias is not None else None
+        out, self._cache = F.conv2d(x, self.weight.data, b, self.stride, self.pad)
+        return out
+
+    def backward(self, grad):
+        gx, gw, gb = F.conv2d_backward(grad, self._cache)
+        self.weight.grad += gw
+        if self.bias is not None:
+            self.bias.grad += gb
+        return gx
+
+
+class DepthwiseConv2d(Module):
+    def __init__(self, channels: int, kernel: int, stride: int = 1,
+                 pad: Optional[int] = None, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.channels, self.kernel, self.stride = channels, kernel, stride
+        self.pad = pad if pad is not None else kernel // 2
+        self.weight = Parameter(
+            he_normal((channels, 1, kernel, kernel), fan_in=kernel * kernel, rng=rng))
+        self.bias = Parameter(np.zeros(channels)) if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        b = self.bias.data if self.bias is not None else None
+        out, self._cache = F.depthwise_conv2d(x, self.weight.data, b,
+                                              self.stride, self.pad)
+        return out
+
+    def backward(self, grad):
+        gx, gw, gb = F.depthwise_conv2d_backward(grad, self._cache)
+        self.weight.grad += gw
+        if self.bias is not None:
+            self.bias.grad += gb
+        return gx
+
+
+class BatchNorm2d(Module):
+    def __init__(self, channels: int, momentum: float = 0.1, eps: float = 1e-5):
+        super().__init__()
+        self.channels = channels
+        self.momentum, self.eps = momentum, eps
+        self.gamma = Parameter(np.ones(channels))
+        self.beta = Parameter(np.zeros(channels))
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self._cache = None
+
+    def forward(self, x):
+        out, self._cache = F.batchnorm2d(
+            x, self.gamma.data, self.beta.data, self.running_mean,
+            self.running_var, self.training, self.momentum, self.eps)
+        return out
+
+    def backward(self, grad):
+        gx, gg, gb = F.batchnorm2d_backward(grad, self._cache)
+        self.gamma.grad += gg
+        self.beta.grad += gb
+        return gx
+
+
+class Linear(Module):
+    def __init__(self, in_features: int, out_features: int, bias: bool = True,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.in_features, self.out_features = in_features, out_features
+        self.weight = Parameter(
+            xavier_uniform((out_features, in_features), fan_in=in_features,
+                           fan_out=out_features, rng=rng))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._cache = None
+
+    def forward(self, x):
+        b = self.bias.data if self.bias is not None else None
+        out, self._cache = F.linear(x, self.weight.data, b)
+        return out
+
+    def backward(self, grad):
+        gx, gw, gb = F.linear_backward(grad, self._cache)
+        self.weight.grad += gw
+        if self.bias is not None:
+            self.bias.grad += gb
+        return gx
+
+
+class ReLU(Module):
+    def forward(self, x):
+        out, self._mask = F.relu(x)
+        return out
+
+    def backward(self, grad):
+        return F.relu_backward(grad, self._mask)
+
+
+class HSwish(Module):
+    def forward(self, x):
+        out, self._x = F.hswish(x)
+        return out
+
+    def backward(self, grad):
+        return F.hswish_backward(grad, self._x)
+
+
+class HSigmoid(Module):
+    def forward(self, x):
+        out, self._x = F.hsigmoid(x)
+        return out
+
+    def backward(self, grad):
+        return F.hsigmoid_backward(grad, self._x)
+
+
+class GlobalAvgPool(Module):
+    def forward(self, x):
+        out, self._shape = F.global_avg_pool(x)
+        return out
+
+    def backward(self, grad):
+        return F.global_avg_pool_backward(grad, self._shape)
+
+
+class Flatten(Module):
+    def forward(self, x):
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad):
+        return grad.reshape(self._shape)
+
+
+class SqueezeExcite(Module):
+    """Squeeze-and-excitation gate (MobileNetV3 style, hsigmoid gating)."""
+
+    def __init__(self, channels: int, reduction: int = 4,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        hidden = max(1, channels // reduction)
+        self.channels, self.hidden = channels, hidden
+        self.fc1 = Linear(channels, hidden, rng=rng)
+        self.relu = ReLU()
+        self.fc2 = Linear(hidden, channels, rng=rng)
+        self.gate = HSigmoid()
+
+    def forward(self, x):
+        self._x = x
+        s, self._pool_shape = F.global_avg_pool(x)
+        s = self.fc1(s)
+        s = self.relu(s)
+        s = self.fc2(s)
+        s = self.gate(s)
+        self._scale = s
+        return x * s[:, :, None, None]
+
+    def backward(self, grad):
+        grad_x_direct = grad * self._scale[:, :, None, None]
+        grad_s = (grad * self._x).sum(axis=(2, 3))
+        g = self.gate.backward(grad_s)
+        g = self.fc2.backward(g)
+        g = self.relu.backward(g)
+        g = self.fc1.backward(g)
+        grad_x_pool = F.global_avg_pool_backward(g, self._pool_shape)
+        return grad_x_direct + grad_x_pool
+
+
+class Sequential(Module):
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: List[Module] = list(layers)
+        for i, layer in enumerate(self.layers):
+            self.register_module(str(i), layer)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+        self.register_module(str(len(self.layers) - 1), layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, i: int) -> Module:
+        return self.layers[i]
+
+    def forward(self, x):
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad):
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad

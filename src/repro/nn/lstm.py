@@ -1,0 +1,126 @@
+"""An LSTM cell with full backpropagation-through-time.
+
+The Murmuration policy network (paper Fig. 5) is a single-layer LSTM whose
+hidden state carries model-configuration decisions across the per-layer
+decision sequence.  This module implements the cell plus a helper that
+unrolls it over a decision trajectory and backpropagates through all steps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from . import functional as F
+from .init import orthogonal, xavier_uniform
+from .layers import Module, Parameter
+
+__all__ = ["LSTMCell", "LSTMState"]
+
+LSTMState = Tuple[np.ndarray, np.ndarray]  # (h, c)
+
+
+class LSTMCell(Module):
+    """Standard LSTM cell.
+
+    Gate layout in the stacked weight matrices is ``[i, f, g, o]``.
+    Forget-gate bias is initialized to 1.0 (standard trick to preserve
+    long-range credit assignment early in training).
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        h = hidden_size
+        self.w_ih = Parameter(
+            xavier_uniform((4 * h, input_size), fan_in=input_size, fan_out=4 * h,
+                           rng=rng))
+        self.w_hh = Parameter(
+            np.concatenate([orthogonal((h, h), rng=rng) for _ in range(4)], axis=0))
+        bias = np.zeros(4 * h)
+        bias[h:2 * h] = 1.0  # forget gate
+        self.bias = Parameter(bias)
+        self._tape: List[tuple] = []
+
+    def zero_state(self, batch: int = 1) -> LSTMState:
+        h = np.zeros((batch, self.hidden_size))
+        return h, h.copy()
+
+    def reset_tape(self) -> None:
+        self._tape.clear()
+
+    def forward_step(self, x: np.ndarray, state: LSTMState,
+                     record: bool = True) -> Tuple[np.ndarray, LSTMState]:
+        """One time step; returns (h_new, (h_new, c_new)).
+
+        When ``record`` is True, intermediates are pushed onto the tape for
+        :meth:`backward_through_time`.
+        """
+        h_prev, c_prev = state
+        hs = self.hidden_size
+        z = x @ self.w_ih.data.T + h_prev @ self.w_hh.data.T + self.bias.data
+        i = F.sigmoid(z[:, 0 * hs:1 * hs])
+        f = F.sigmoid(z[:, 1 * hs:2 * hs])
+        g = np.tanh(z[:, 2 * hs:3 * hs])
+        o = F.sigmoid(z[:, 3 * hs:4 * hs])
+        c = f * c_prev + i * g
+        tanh_c = np.tanh(c)
+        h = o * tanh_c
+        if record:
+            self._tape.append((x, h_prev, c_prev, i, f, g, o, c, tanh_c))
+        return h, (h, c)
+
+    # alias so an LSTMCell can be invoked like other modules on a sequence
+    def forward(self, xs: np.ndarray) -> np.ndarray:
+        """Run over a (T, B, input) sequence; returns (T, B, hidden)."""
+        state = self.zero_state(xs.shape[1])
+        outs = []
+        for t in range(xs.shape[0]):
+            h, state = self.forward_step(xs[t], state)
+            outs.append(h)
+        return np.stack(outs, axis=0)
+
+    def backward_through_time(self, grads_h: List[Optional[np.ndarray]],
+                              ) -> List[np.ndarray]:
+        """BPTT over the recorded tape.
+
+        ``grads_h[t]`` is dLoss/dh_t coming from the heads at step t (or
+        None).  Gradients for the cell parameters are accumulated in place;
+        the per-step input gradients are returned (aligned with the tape).
+        """
+        if len(grads_h) != len(self._tape):
+            raise ValueError(
+                f"got {len(grads_h)} head gradients for {len(self._tape)} steps")
+        hs = self.hidden_size
+        grad_x_out: List[np.ndarray] = [None] * len(self._tape)  # type: ignore
+        dh_next = None
+        dc_next = None
+        for t in range(len(self._tape) - 1, -1, -1):
+            x, h_prev, c_prev, i, f, g, o, c, tanh_c = self._tape[t]
+            dh = np.zeros_like(h_prev) if grads_h[t] is None else grads_h[t].copy()
+            if dh_next is not None:
+                dh += dh_next
+            dc = dh * o * (1.0 - tanh_c ** 2)
+            if dc_next is not None:
+                dc += dc_next
+            do = dh * tanh_c
+            di = dc * g
+            dg = dc * i
+            df = dc * c_prev
+            dz = np.concatenate([
+                di * i * (1.0 - i),
+                df * f * (1.0 - f),
+                dg * (1.0 - g ** 2),
+                do * o * (1.0 - o),
+            ], axis=1)
+            self.w_ih.grad += dz.T @ x
+            self.w_hh.grad += dz.T @ h_prev
+            self.bias.grad += dz.sum(axis=0)
+            grad_x_out[t] = dz @ self.w_ih.data
+            dh_next = dz @ self.w_hh.data
+            dc_next = dc * f
+        self.reset_tape()
+        return grad_x_out

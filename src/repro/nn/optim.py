@@ -1,0 +1,109 @@
+"""Optimizers operating on :class:`repro.nn.layers.Parameter` lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .layers import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+def clip_grad_norm(params: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most
+    ``max_norm``; returns the pre-clip norm."""
+    params = list(params)
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class Optimizer:
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """SGD with classical momentum and decoupled weight decay."""
+
+    def __init__(self, params, lr: float = 0.05, momentum: float = 0.9,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            v *= self.momentum
+            v -= self.lr * g
+            p.data += v
+
+
+class Adam(Optimizer):
+    def __init__(self, params, lr: float = 1e-3, betas=(0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.b1, self.b2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        bc1 = 1.0 - self.b1 ** self._t
+        bc2 = 1.0 - self.b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.b1
+            m += (1.0 - self.b1) * g
+            v *= self.b2
+            v += (1.0 - self.b2) * g * g
+            p.data -= self.lr * (m / bc1) / (np.sqrt(v / bc2) + self.eps)
+
+
+class CosineLR:
+    """Cosine-annealed learning rate schedule with optional warmup."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 base_lr: Optional[float] = None, min_lr: float = 0.0,
+                 warmup_steps: int = 0):
+        self.opt = optimizer
+        self.total = max(1, total_steps)
+        self.base = base_lr if base_lr is not None else optimizer.lr
+        self.min = min_lr
+        self.warmup = warmup_steps
+        self._step = 0
+
+    def step(self) -> float:
+        self._step += 1
+        if self._step <= self.warmup:
+            lr = self.base * self._step / max(1, self.warmup)
+        else:
+            t = (self._step - self.warmup) / max(1, self.total - self.warmup)
+            t = min(1.0, t)
+            lr = self.min + 0.5 * (self.base - self.min) * (1 + np.cos(np.pi * t))
+        self.opt.lr = lr
+        return lr

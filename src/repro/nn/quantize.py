@@ -1,0 +1,82 @@
+"""Feature-map quantization.
+
+Murmuration's search space includes per-layer *input quantization* used
+when intermediate activations cross a device boundary: quantizing from
+32-bit floats to 8/16-bit integers shrinks the transfer 4x/2x at a small
+accuracy cost.  We implement symmetric uniform quantization with
+per-tensor scale, plus helpers to compute the on-the-wire byte volume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "fake_quantize",
+    "wire_bytes",
+    "SUPPORTED_BITS",
+]
+
+SUPPORTED_BITS = (8, 16, 32)
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """Integer payload + scale, the unit actually shipped between devices."""
+
+    data: np.ndarray
+    scale: float
+    bits: int
+    shape: Tuple[int, ...]
+
+    @property
+    def nbytes(self) -> int:
+        return wire_bytes(int(np.prod(self.shape)), self.bits)
+
+
+def _check_bits(bits: int) -> None:
+    if bits not in SUPPORTED_BITS:
+        raise ValueError(f"unsupported bitwidth {bits}; expected one of {SUPPORTED_BITS}")
+
+
+def quantize(x: np.ndarray, bits: int) -> QuantizedTensor:
+    """Symmetric uniform quantization to ``bits`` (32 = passthrough)."""
+    _check_bits(bits)
+    if bits == 32:
+        return QuantizedTensor(x.astype(np.float32), 1.0, 32, x.shape)
+    qmax = float(2 ** (bits - 1) - 1)
+    amax = float(np.abs(x).max())
+    scale = amax / qmax if amax > 0 else 1.0
+    dtype = np.int8 if bits == 8 else np.int16
+    q = np.clip(np.round(x / scale), -qmax - 1, qmax).astype(dtype)
+    return QuantizedTensor(q, scale, bits, x.shape)
+
+
+def dequantize(qt: QuantizedTensor) -> np.ndarray:
+    if qt.bits == 32:
+        return qt.data.astype(np.float64)
+    return qt.data.astype(np.float64) * qt.scale
+
+
+def fake_quantize(x: np.ndarray, bits: int) -> np.ndarray:
+    """Quantize-dequantize round trip; used during supernet training so
+    submodels see the quantization noise they will incur at the wire."""
+    if bits == 32:
+        return x
+    return dequantize(quantize(x, bits))
+
+
+def wire_bytes(num_elements: int, bits: int) -> int:
+    """Bytes on the wire for a tensor of ``num_elements`` at ``bits``.
+
+    A small fixed header (shape + scale) models the framing overhead.
+    """
+    _check_bits(bits)
+    header = 32
+    return header + (num_elements * bits + 7) // 8

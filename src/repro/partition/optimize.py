@@ -1,0 +1,87 @@
+"""Plan refinement by coordinate descent.
+
+Template plans (layer-wise splits, uniform spatial grids, greedy mixed
+grids) are good starting points, but the best placements are usually
+hybrids — e.g. ship the input, tile the middle 2x2, then collapse onto
+the aggregation device before the small feature maps.  This module
+improves any valid plan by coordinate descent: sweep the blocks, and for
+each try a small candidate set of alternative (grid, devices, bits)
+placements, keeping whichever minimizes the *whole-plan* simulated
+latency.
+
+This is the classical-optimization counterpart to the RL policy: slower
+(hundreds of simulator calls) but useful as an oracle-quality reference
+and to polish strategies offline before caching them.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..models.graph import ModelGraph
+from ..netsim.topology import Cluster
+from .plan import BlockPlan, ExecutionPlan
+from .simulate import simulate_latency
+from .spatial import Grid
+
+__all__ = ["refine_plan", "block_candidates"]
+
+
+def block_candidates(block, num_devices: int,
+                     bits_options: Sequence[int] = (32, 8),
+                     max_pairs: int = 3) -> List[BlockPlan]:
+    """Alternative placements considered for one block."""
+    out: List[BlockPlan] = []
+    g11 = Grid(1, 1)
+    for bits in bits_options:
+        for d in range(num_devices):
+            out.append(BlockPlan(g11, (d,), bits=bits))
+        if block.fused or not block.partitionable:
+            continue
+        pairs = list(combinations(range(num_devices), 2))[:max_pairs]
+        for pair in pairs:
+            out.append(BlockPlan(Grid(1, 2), pair, bits=bits))
+        if num_devices >= 4:
+            out.append(BlockPlan(Grid(2, 2), tuple(range(4)), bits=bits))
+            if num_devices >= 5:
+                out.append(BlockPlan(Grid(2, 2), (1, 2, 3, 4), bits=bits))
+    return out
+
+
+def refine_plan(graph: ModelGraph, plan: ExecutionPlan, cluster: Cluster,
+                max_passes: int = 3,
+                objective: Optional[Callable[[ExecutionPlan], float]] = None,
+                ) -> Tuple[ExecutionPlan, float]:
+    """Coordinate-descent improvement of ``plan``.
+
+    ``objective`` defaults to end-to-end simulated latency; supply a
+    custom callable (e.g. latency + lambda * energy) for other targets.
+    Returns ``(refined plan, objective value)``; the result is always at
+    least as good as the input.
+    """
+    plan.validate_for(graph, cluster.num_devices)
+    if objective is None:
+        def objective(p: ExecutionPlan) -> float:
+            return simulate_latency(graph, p, cluster).total_s
+
+    current = list(plan.block_plans)
+    best_value = objective(ExecutionPlan(current, plan.output_device))
+    for _ in range(max_passes):
+        improved = False
+        for i, block in enumerate(graph):
+            original = current[i]
+            for candidate in block_candidates(block, cluster.num_devices):
+                if candidate == original:
+                    continue
+                current[i] = candidate
+                value = objective(ExecutionPlan(current, plan.output_device))
+                if value < best_value - 1e-12:
+                    best_value = value
+                    original = candidate
+                    improved = True
+                else:
+                    current[i] = original
+        if not improved:
+            break
+    return ExecutionPlan(current, plan.output_device), best_value

@@ -1,0 +1,167 @@
+"""Shared RL training utilities: the GCSL-style supervised update,
+policy evaluation, bootstrap trajectories, and the satisfiability oracle
+used to normalize compliance rates (Sec. 6.1.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.optim import Adam, clip_grad_norm
+from .env import MurmurationEnv, StrategyOutcome, Task
+from .policy import LSTMPolicy
+
+__all__ = ["supervised_update", "evaluate_policy", "EvalResult",
+           "bootstrap_actions", "satisfiable", "TrainingHistory"]
+
+
+@dataclass
+class EvalResult:
+    avg_reward: float
+    compliance: float          # normalized by satisfiable tasks
+    raw_compliance: float      # over all tasks
+    n_tasks: int
+    n_satisfiable: int
+
+
+@dataclass
+class TrainingHistory:
+    """Metric curves recorded during training (Figs. 11/12)."""
+
+    steps: List[int] = field(default_factory=list)
+    avg_reward: List[float] = field(default_factory=list)
+    compliance: List[float] = field(default_factory=list)
+    losses: List[float] = field(default_factory=list)
+
+    def record(self, step: int, result: EvalResult) -> None:
+        self.steps.append(step)
+        self.avg_reward.append(result.avg_reward)
+        self.compliance.append(result.compliance)
+
+
+def supervised_update(policy: LSTMPolicy, opt: Adam, env: MurmurationEnv,
+                      contexts: np.ndarray, actions: np.ndarray,
+                      max_grad_norm: float = 5.0) -> float:
+    """One goal-conditioned imitation step: maximize log pi(a_t | s_t, g).
+
+    Returns the mean negative log-likelihood.
+    """
+    b, t = actions.shape
+    logits_list, _ = policy.teacher_forward(contexts, actions, env.schedule)
+    grads = []
+    total_nll = 0.0
+    for step_t in range(t):
+        logits = logits_list[step_t]
+        logp = F.log_softmax(logits, axis=-1)
+        a = actions[:, step_t]
+        total_nll += -float(logp[np.arange(b), a].mean())
+        g = np.exp(logp)
+        g[np.arange(b), a] -= 1.0
+        grads.append(g / (b * t))
+    opt.zero_grad()
+    policy.teacher_backward(grads)
+    clip_grad_norm(policy.parameters(), max_grad_norm)
+    opt.step()
+    return total_nll / t
+
+
+def evaluate_policy(policy: LSTMPolicy, env: MurmurationEnv,
+                    tasks: Sequence[Task],
+                    satisfiable_mask: Optional[np.ndarray] = None,
+                    ) -> EvalResult:
+    """Greedy-rollout evaluation over a task set.
+
+    ``satisfiable_mask`` (from :func:`satisfiable`) normalizes the
+    compliance rate by the achievable tasks, as the paper does.
+    """
+    contexts = np.stack([env.encode_task(t) for t in tasks])
+    batch = policy.rollout(contexts, env.schedule,
+                           np.random.default_rng(0), greedy=True)
+    rewards = np.zeros(len(tasks))
+    satisfied = np.zeros(len(tasks), dtype=bool)
+    for i, task in enumerate(tasks):
+        outcome = env.evaluate_actions(batch.actions[i], task)
+        rewards[i] = outcome.reward
+        satisfied[i] = outcome.satisfied
+    if satisfiable_mask is None:
+        satisfiable_mask = np.ones(len(tasks), dtype=bool)
+    n_sat = int(satisfiable_mask.sum())
+    compliance = (float(satisfied[satisfiable_mask].mean())
+                  if n_sat else 0.0)
+    return EvalResult(
+        avg_reward=float(rewards.mean()),
+        compliance=compliance,
+        raw_compliance=float(satisfied.mean()),
+        n_tasks=len(tasks),
+        n_satisfiable=n_sat,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap trajectories (paper: max- and min-submodel seeds)
+# ---------------------------------------------------------------------------
+
+def _actions_for(env: MurmurationEnv, size: str, device: int) -> np.ndarray:
+    """Action sequence selecting the min/max submodel wholly on one
+    device, unpartitioned, full precision."""
+    space = env.space
+    pick = (lambda opts, v: list(opts).index(v))
+    actions = []
+    for step in env.schedule:
+        if step.kind == "resolution":
+            v = (max if size == "max" else min)(space.resolution_options)
+            actions.append(pick(space.resolution_options, v))
+        elif step.kind == "depth":
+            v = space.max_depth if size == "max" else space.min_depth
+            actions.append(pick(space.depth_options, v))
+        elif step.kind == "kernel":
+            v = (max if size == "max" else min)(space.kernel_options)
+            actions.append(pick(space.kernel_options, v))
+        elif step.kind == "expand":
+            v = (max if size == "max" else min)(space.expand_options)
+            actions.append(pick(space.expand_options, v))
+        elif step.kind == "grid":
+            actions.append(0)  # 1x1
+        elif step.kind == "bits":
+            actions.append(pick(space.bits_options, 32))
+        elif step.kind in ("device", "head_device"):
+            actions.append(device)
+        else:  # pragma: no cover - defensive
+            raise ValueError(step.kind)
+    return np.asarray(actions, dtype=np.int64)
+
+
+def bootstrap_actions(env: MurmurationEnv) -> List[np.ndarray]:
+    """The two seed trajectories both GCSL and SUPREME start from
+    (Sec. 6.1.1): the max-size and min-size submodels."""
+    seeds = [_actions_for(env, "min", 0), _actions_for(env, "max", 0)]
+    if env.num_devices > 1:
+        seeds.append(_actions_for(env, "max", 1))
+        seeds.append(_actions_for(env, "min", 1))
+    return seeds
+
+
+# ---------------------------------------------------------------------------
+# Satisfiability oracle
+# ---------------------------------------------------------------------------
+
+def satisfiable(env: MurmurationEnv, task: Task) -> bool:
+    """Whether *any* strategy in the search space can meet the SLO.
+
+    Checked against the extreme seed strategies: for a latency SLO the
+    minimum submodel on the best device is (near-)optimal in latency;
+    for an accuracy SLO the maximum submodel maximizes accuracy.
+    """
+    candidates = bootstrap_actions(env)
+    for actions in candidates:
+        if env.evaluate_actions(actions, task).satisfied:
+            return True
+    return False
+
+
+def satisfiable_mask(env: MurmurationEnv,
+                     tasks: Sequence[Task]) -> np.ndarray:
+    return np.array([satisfiable(env, t) for t in tasks], dtype=bool)

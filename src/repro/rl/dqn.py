@@ -1,0 +1,147 @@
+"""Deep Q-Network baseline.
+
+Sec. 4.3 names DQN alongside PPO as the traditional algorithms that
+struggle on this problem.  This implementation treats the per-step head
+outputs of the shared LSTM backbone as Q-values: episodes carry a single
+terminal reward (Eq. 2/3), so the TD target of step t is the maximum
+next-step Q (gamma = 1) and the terminal step regresses on the reward
+directly.  A target network stabilizes bootstrapping; exploration is
+epsilon-greedy over the step's action set.
+
+Like PPO, DQN receives no signal until exploration stumbles on an
+SLO-satisfying trajectory — the failure mode SUPREME's relabeling and
+sharing machinery removes.
+"""
+
+from __future__ import annotations
+
+import copy
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.optim import Adam, clip_grad_norm
+from .common import TrainingHistory, evaluate_policy, satisfiable_mask
+from .env import MurmurationEnv, Task
+from .policy import LSTMPolicy, PolicyConfig
+
+__all__ = ["DQNConfig", "DQNTrainer"]
+
+
+@dataclass
+class DQNConfig:
+    total_steps: int = 2000          # collected episodes
+    rollout_batch: int = 16
+    train_batch: int = 16
+    buffer_size: int = 2000
+    lr: float = 1e-3
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.1
+    epsilon_decay_steps: int = 1500
+    target_sync_every: int = 200     # episodes between target-net syncs
+    max_grad_norm: float = 5.0
+    eval_every: int = 200
+    eval_points: int = 4
+    seed: int = 0
+
+
+@dataclass
+class _Episode:
+    context: np.ndarray
+    actions: np.ndarray
+    reward: float
+
+
+class DQNTrainer:
+    def __init__(self, env: MurmurationEnv, config: Optional[DQNConfig] = None,
+                 policy: Optional[LSTMPolicy] = None):
+        self.env = env
+        self.cfg = config or DQNConfig()
+        self.rng = np.random.default_rng(self.cfg.seed)
+        self.q = policy or LSTMPolicy.for_env(
+            env, PolicyConfig(seed=self.cfg.seed))
+        self.target = copy.deepcopy(self.q)
+        self.opt = Adam(self.q.parameters(), lr=self.cfg.lr)
+        self.buffer: Deque[_Episode] = deque(maxlen=self.cfg.buffer_size)
+        self.history = TrainingHistory()
+        self._collected = 0
+
+    def _epsilon(self) -> float:
+        cfg = self.cfg
+        frac = min(1.0, self._collected / max(1, cfg.epsilon_decay_steps))
+        return cfg.epsilon_start + (cfg.epsilon_end - cfg.epsilon_start) * frac
+
+    def _collect(self) -> None:
+        cfg = self.cfg
+        tasks = [self.env.sample_task(self.rng)
+                 for _ in range(cfg.rollout_batch)]
+        contexts = np.stack([self.env.encode_task(t) for t in tasks])
+        # Epsilon-greedy over the Q maximizer.
+        batch = self.q.rollout(contexts, self.env.schedule, self.rng,
+                               epsilon=self._epsilon(), greedy=True)
+        for i, task in enumerate(tasks):
+            out = self.env.evaluate_actions(batch.actions[i], task)
+            self.buffer.append(_Episode(contexts[i], batch.actions[i].copy(),
+                                        out.reward))
+        self._collected += len(tasks)
+
+    def _td_update(self) -> Optional[float]:
+        cfg = self.cfg
+        if len(self.buffer) < cfg.train_batch:
+            return None
+        picks = self.rng.integers(0, len(self.buffer), cfg.train_batch)
+        eps = [self.buffer[int(i)] for i in picks]
+        contexts = np.stack([e.context for e in eps])
+        actions = np.stack([e.actions for e in eps])
+        rewards = np.array([e.reward for e in eps])
+        b, t = actions.shape
+
+        # Bootstrapped targets from the frozen target network.
+        tq_logits, _ = self.target.teacher_forward(contexts, actions,
+                                                   self.env.schedule)
+        self.target.teacher_backward([np.zeros_like(l) for l in tq_logits])
+        targets = np.zeros((b, t))
+        for step_t in range(t - 1):
+            targets[:, step_t] = tq_logits[step_t + 1].max(axis=1)
+        targets[:, t - 1] = rewards
+
+        q_logits, _ = self.q.teacher_forward(contexts, actions,
+                                             self.env.schedule)
+        grads: List[np.ndarray] = []
+        loss = 0.0
+        for step_t in range(t):
+            qa = q_logits[step_t][np.arange(b), actions[:, step_t]]
+            diff = qa - targets[:, step_t]
+            loss += float((diff ** 2).mean())
+            g = np.zeros_like(q_logits[step_t])
+            g[np.arange(b), actions[:, step_t]] = 2.0 * diff / (b * t)
+            grads.append(g)
+        self.opt.zero_grad()
+        self.q.teacher_backward(grads)
+        clip_grad_norm(self.q.parameters(), cfg.max_grad_norm)
+        self.opt.step()
+        return loss / t
+
+    def _sync_target(self) -> None:
+        self.target.load_state_dict(self.q.state_dict())
+
+    def train(self, eval_tasks: Optional[Sequence[Task]] = None,
+              eval_mask: Optional[np.ndarray] = None) -> TrainingHistory:
+        cfg = self.cfg
+        if eval_tasks is None:
+            eval_tasks = self.env.validation_tasks(cfg.eval_points)
+        if eval_mask is None:
+            eval_mask = satisfiable_mask(self.env, eval_tasks)
+        while self._collected < cfg.total_steps:
+            self._collect()
+            loss = self._td_update()
+            if loss is not None:
+                self.history.losses.append(loss)
+            if (self._collected % cfg.target_sync_every) < cfg.rollout_batch:
+                self._sync_target()
+            if (self._collected % cfg.eval_every) < cfg.rollout_batch:
+                res = evaluate_policy(self.q, self.env, eval_tasks, eval_mask)
+                self.history.record(self._collected, res)
+        return self.history

@@ -1,0 +1,328 @@
+"""The goal-conditioned multi-task environment (paper Sec. 4.2).
+
+A *task* is a network condition (bandwidth/delay per remote device); the
+*goal* is the SLO value.  An episode is one pass over the decision
+schedule; at the end the chosen (architecture, execution plan) is priced
+by the latency simulator and the accuracy model, and the goal-conditioned
+reward of Eq. 2 / Eq. 3 is assigned.
+
+The environment also exposes :meth:`decode` and :meth:`evaluate_actions`
+so the replay-buffer machinery (relabeling, mutation) can re-price stored
+action sequences under different tasks without re-rolling the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..devices.profiles import DeviceProfile
+from ..nas.accuracy_model import plan_accuracy_penalty, strategy_accuracy
+from ..nas.arch import ArchConfig
+from ..nas.graph_builder import build_graph
+from ..nas.search_space import SearchSpace
+from ..netsim.topology import Cluster, NetworkCondition
+from ..partition.plan import BlockPlan, ExecutionPlan
+from ..partition.simulate import simulate_latency
+from ..partition.spatial import Grid
+from .spaces import ActionStep, build_schedule
+
+__all__ = ["Task", "StrategyOutcome", "EnvConfig", "MurmurationEnv"]
+
+
+@dataclass(frozen=True)
+class Task:
+    """Goal (SLO value) + task (network condition)."""
+
+    slo: float
+    condition: NetworkCondition
+
+    def context_vector(self, env: "MurmurationEnv") -> np.ndarray:
+        return env.encode_task(self)
+
+
+@dataclass(frozen=True)
+class StrategyOutcome:
+    """What one decoded strategy costs."""
+
+    arch: ArchConfig
+    plan: ExecutionPlan
+    latency_s: float
+    accuracy: float
+    reward: float
+    satisfied: bool
+
+
+@dataclass
+class EnvConfig:
+    """Environment hyperparameters.
+
+    ``slo_kind`` selects Eq. 2 ("latency": maximize accuracy subject to a
+    latency bound) or Eq. 3 ("accuracy": minimize latency subject to an
+    accuracy bound).  ``alpha``/``beta`` are the reward shaping constants.
+    """
+
+    slo_kind: str = "latency"
+    slo_range: Tuple[float, float] = (0.05, 0.5)      # seconds (latency SLO)
+    acc_slo_range: Tuple[float, float] = (72.0, 78.5)  # percent (accuracy SLO)
+    bw_range: Tuple[float, float] = (50.0, 400.0)
+    delay_range: Tuple[float, float] = (5.0, 100.0)
+    alpha: float = 2.0
+    beta: float = 0.1
+    acc_norm: Tuple[float, float] = (70.0, 80.0)
+    latency_ref_s: float = 1.0
+    max_tiles: int = 4
+
+    def __post_init__(self):
+        if self.slo_kind not in ("latency", "accuracy"):
+            raise ValueError("slo_kind must be 'latency' or 'accuracy'")
+
+
+class MurmurationEnv:
+    """Joint submodel-selection + partitioning environment."""
+
+    def __init__(self, space: SearchSpace, devices: Sequence[DeviceProfile],
+                 config: Optional[EnvConfig] = None,
+                 accuracy_fn: Optional[Callable[[ArchConfig], float]] = None):
+        self.space = space
+        self.devices = list(devices)
+        self.cfg = config or EnvConfig()
+        self.accuracy_fn = accuracy_fn or (
+            lambda a: strategy_accuracy(a, space))
+        self.schedule: List[ActionStep] = build_schedule(
+            space, len(self.devices), self.cfg.max_tiles)
+        self.max_choices = max(s.n_choices for s in self.schedule)
+        self._graph_cache: dict = {}
+
+    # -- dimensions --------------------------------------------------------
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def num_remote(self) -> int:
+        return len(self.devices) - 1
+
+    @property
+    def episode_length(self) -> int:
+        return len(self.schedule)
+
+    @property
+    def context_dim(self) -> int:
+        # slo + per-remote (bw, delay) + per-device class (3-way one-hot)
+        return 1 + 2 * self.num_remote + 3 * self.num_devices
+
+    # -- task handling ------------------------------------------------------
+    def encode_task(self, task: Task) -> np.ndarray:
+        cfg = self.cfg
+        if cfg.slo_kind == "latency":
+            slo_norm = task.slo / cfg.slo_range[1]
+        else:
+            lo, hi = cfg.acc_slo_range
+            slo_norm = (task.slo - lo) / max(hi - lo, 1e-9)
+        parts = [slo_norm]
+        parts += [b / cfg.bw_range[1] for b in task.condition.bandwidths_mbps]
+        parts += [d / cfg.delay_range[1] for d in task.condition.delays_ms]
+        for dev in self.devices:
+            onehot = [0.0, 0.0, 0.0]
+            onehot[dev.device_class % 3] = 1.0
+            parts += onehot
+        return np.asarray(parts, dtype=np.float64)
+
+    def sample_task(self, rng: np.random.Generator,
+                    grid_points: int = 10,
+                    active_dims: Optional[int] = None) -> Task:
+        """Sample a task from the 10-point training grids.
+
+        ``active_dims`` implements curriculum learning: only the first k
+        constraint dimensions vary (ordered SLO, bw1, delay1, bw2, ...);
+        the rest sit at their easiest value.
+        """
+        cfg = self.cfg
+        if cfg.slo_kind == "latency":
+            slo_grid = np.linspace(*cfg.slo_range, grid_points)
+            easiest_slo = cfg.slo_range[1]
+        else:
+            slo_grid = np.linspace(*cfg.acc_slo_range, grid_points)
+            easiest_slo = cfg.acc_slo_range[0]
+        bw_grid = np.linspace(*cfg.bw_range, grid_points)
+        delay_grid = np.linspace(*cfg.delay_range, grid_points)
+
+        dims = 1 + 2 * self.num_remote
+        k = dims if active_dims is None else max(1, min(active_dims, dims))
+        slo = float(rng.choice(slo_grid)) if k >= 1 else easiest_slo
+        bws, delays = [], []
+        for r in range(self.num_remote):
+            bw_dim = 2 + 2 * r   # dim index of this remote's bandwidth
+            dl_dim = 3 + 2 * r   # and of its delay
+            bws.append(float(rng.choice(bw_grid)) if k >= bw_dim
+                       else cfg.bw_range[1])
+            delays.append(float(rng.choice(delay_grid)) if k >= dl_dim
+                          else cfg.delay_range[0])
+        return Task(slo, NetworkCondition(tuple(bws), tuple(delays)))
+
+    def validation_tasks(self, points: int = 4,
+                         seed: int = 123) -> List[Task]:
+        """Evenly spread validation tasks over the constraint space."""
+        cfg = self.cfg
+        rng = np.random.default_rng(seed)
+        if cfg.slo_kind == "latency":
+            slos = np.linspace(*cfg.slo_range, points)
+        else:
+            slos = np.linspace(*cfg.acc_slo_range, points)
+        bws = np.linspace(*cfg.bw_range, points)
+        delays = np.linspace(*cfg.delay_range, points)
+        tasks = []
+        if self.num_remote == 1:
+            for s in slos:
+                for b in bws:
+                    for d in delays:
+                        tasks.append(Task(float(s), NetworkCondition(
+                            (float(b),), (float(d),))))
+        else:
+            for s in slos:
+                for _ in range(points * points):
+                    b = tuple(float(rng.choice(bws))
+                              for _ in range(self.num_remote))
+                    d = tuple(float(rng.choice(delays))
+                              for _ in range(self.num_remote))
+                    tasks.append(Task(float(s), NetworkCondition(b, d)))
+        return tasks
+
+    # -- constraint-lattice helpers (used by the SUPREME buffer) -----------
+    def constraint_values(self, task: Task) -> Tuple[float, ...]:
+        """Flatten a task to the buffer's constraint vector:
+        [slo, bw_1..bw_n, delay_1..delay_n]."""
+        return ((task.slo,) + tuple(task.condition.bandwidths_mbps)
+                + tuple(task.condition.delays_ms))
+
+    def task_from_values(self, values: Sequence[float]) -> Task:
+        n = self.num_remote
+        if len(values) != 1 + 2 * n:
+            raise ValueError(f"expected {1 + 2 * n} values, got {len(values)}")
+        return Task(float(values[0]), NetworkCondition(
+            tuple(values[1:1 + n]), tuple(values[1 + n:])))
+
+    def achieved_values(self, outcome: "StrategyOutcome",
+                        task: Task) -> Tuple[float, ...]:
+        """Hindsight-relabeled constraint point: the goal dimension takes
+        the *achieved* value (latency or accuracy), the condition stays
+        as observed."""
+        achieved = (outcome.latency_s if self.cfg.slo_kind == "latency"
+                    else outcome.accuracy)
+        return ((achieved,) + tuple(task.condition.bandwidths_mbps)
+                + tuple(task.condition.delays_ms))
+
+    def relabeled_reward(self, outcome: "StrategyOutcome") -> float:
+        """Reward under the hindsight goal (satisfied by construction)."""
+        slo = (outcome.latency_s if self.cfg.slo_kind == "latency"
+               else outcome.accuracy)
+        r, _ = self.reward(outcome.latency_s, outcome.accuracy, slo)
+        return r
+
+    # -- decoding -----------------------------------------------------------
+    def decode(self, actions: Sequence[int]) -> Tuple[ArchConfig, ExecutionPlan]:
+        """Map an action sequence to (architecture, execution plan)."""
+        if len(actions) != len(self.schedule):
+            raise ValueError(
+                f"expected {len(self.schedule)} actions, got {len(actions)}")
+        space = self.space
+        cfg = self.cfg
+        res = None
+        depths = [space.min_depth] * space.num_stages
+        kernels = [min(space.kernel_options)] * space.num_stages
+        expands = [min(space.expand_options)] * space.num_stages
+        grids = [Grid(1, 1)] * space.num_stages
+        bits = [32] * space.num_stages
+        tile_devs = [[0] * cfg.max_tiles for _ in range(space.num_stages)]
+        head_dev = 0
+        for step, a in zip(self.schedule, actions):
+            if not (0 <= a < step.n_choices):
+                raise ValueError(f"action {a} out of range for {step}")
+            if step.kind == "resolution":
+                res = space.resolution_options[a]
+            elif step.kind == "depth":
+                depths[step.stage] = space.depth_options[a]
+            elif step.kind == "kernel":
+                kernels[step.stage] = space.kernel_options[a]
+            elif step.kind == "expand":
+                expands[step.stage] = space.expand_options[a]
+            elif step.kind == "grid":
+                grids[step.stage] = space.grid_options[a]
+            elif step.kind == "bits":
+                bits[step.stage] = space.bits_options[a]
+            elif step.kind == "device":
+                tile_devs[step.stage][step.slot] = a
+            elif step.kind == "head_device":
+                head_dev = a
+
+        slots = space.num_stages * space.max_depth
+        arch_kernels = [0] * slots
+        arch_expands = [0] * slots
+        for s in range(space.num_stages):
+            for b in range(space.max_depth):
+                arch_kernels[s * space.max_depth + b] = kernels[s]
+                arch_expands[s * space.max_depth + b] = expands[s]
+        arch = ArchConfig(res, tuple(depths), tuple(arch_kernels),
+                          tuple(arch_expands))
+
+        graph = self._graph(arch)
+        plans: List[BlockPlan] = []
+        g11 = Grid(1, 1)
+        stem_dev = tile_devs[0][0]
+        for block in graph:
+            if block.fused or not block.partitionable:
+                plans.append(BlockPlan(g11, (head_dev,), bits=bits[-1]))
+            elif block.stage == 0:  # stem
+                plans.append(BlockPlan(g11, (stem_dev,), bits=bits[0]))
+            elif 1 <= block.stage <= space.num_stages:
+                s = block.stage - 1
+                g = grids[s]
+                devs = tuple(tile_devs[s][:g.ntiles])
+                plans.append(BlockPlan(g, devs, bits=bits[s]))
+            else:  # final conv
+                plans.append(BlockPlan(g11, (head_dev,), bits=bits[-1]))
+        return arch, ExecutionPlan(plans, output_device=0)
+
+    def _graph(self, arch: ArchConfig):
+        key = arch.canonical_key(self.space)
+        g = self._graph_cache.get(key)
+        if g is None:
+            g = build_graph(arch, self.space)
+            if len(self._graph_cache) > 4096:
+                self._graph_cache.clear()
+            self._graph_cache[key] = g
+        return g
+
+    # -- pricing ---------------------------------------------------------------
+    def evaluate_strategy(self, arch: ArchConfig, plan: ExecutionPlan,
+                          task: Task) -> StrategyOutcome:
+        cluster = Cluster(self.devices, task.condition)
+        report = simulate_latency(self._graph(arch), plan, cluster)
+        accuracy = self.accuracy_fn(arch) - plan_accuracy_penalty(plan)
+        latency = report.total_s
+        reward, ok = self.reward(latency, accuracy, task.slo)
+        return StrategyOutcome(arch, plan, latency, accuracy, reward, ok)
+
+    def evaluate_actions(self, actions: Sequence[int],
+                         task: Task) -> StrategyOutcome:
+        arch, plan = self.decode(actions)
+        return self.evaluate_strategy(arch, plan, task)
+
+    def reward(self, latency_s: float, accuracy: float,
+               slo: float) -> Tuple[float, bool]:
+        """Goal-conditioned reward (Eq. 2 / Eq. 3)."""
+        cfg = self.cfg
+        if cfg.slo_kind == "latency":
+            if latency_s <= slo:
+                lo, hi = cfg.acc_norm
+                a_norm = (accuracy - lo) / (hi - lo)
+                return cfg.alpha * a_norm - cfg.beta, True
+            return 0.0, False
+        # accuracy SLO: reward low latency once accuracy is met
+        if accuracy >= slo:
+            l_norm = 1.0 - min(latency_s, cfg.latency_ref_s) / cfg.latency_ref_s
+            return cfg.alpha * l_norm - cfg.beta, True
+        return 0.0, False

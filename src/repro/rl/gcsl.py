@@ -1,0 +1,118 @@
+"""Goal-Conditioned Supervised Learning baseline (Ghosh et al. 2019).
+
+The vanilla iterated-imitation loop the paper compares against: collect
+trajectories with the current policy, hindsight-relabel each to the goal
+it actually achieved, store in a flat FIFO replay buffer, and train the
+policy by supervised imitation on relabeled (goal, trajectory) pairs.
+
+SUPREME (``repro.rl.supreme``) keeps this training rule but replaces the
+flat buffer with the bucketed/shared/pruned/mutated one.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn.optim import Adam
+from .common import (TrainingHistory, bootstrap_actions, evaluate_policy,
+                     satisfiable_mask, supervised_update)
+from .env import MurmurationEnv, Task
+from .policy import LSTMPolicy, PolicyConfig
+
+__all__ = ["GCSLConfig", "GCSLTrainer"]
+
+
+@dataclass
+class GCSLConfig:
+    total_steps: int = 2000          # collected episodes
+    rollout_batch: int = 16
+    train_batch: int = 32
+    train_every: int = 1             # updates per collection round
+    buffer_size: int = 4000
+    lr: float = 1e-3
+    eval_every: int = 200
+    eval_points: int = 4
+    seed: int = 0
+
+
+@dataclass
+class _Relabeled:
+    goal_values: Tuple[float, ...]
+    actions: np.ndarray
+
+
+class GCSLTrainer:
+    """Plain GCSL over the Murmuration environment."""
+
+    def __init__(self, env: MurmurationEnv, config: Optional[GCSLConfig] = None,
+                 policy: Optional[LSTMPolicy] = None):
+        self.env = env
+        self.cfg = config or GCSLConfig()
+        self.rng = np.random.default_rng(self.cfg.seed)
+        self.policy = policy or LSTMPolicy.for_env(
+            env, PolicyConfig(seed=self.cfg.seed))
+        self.opt = Adam(self.policy.parameters(), lr=self.cfg.lr)
+        self.buffer: Deque[_Relabeled] = deque(maxlen=self.cfg.buffer_size)
+        self.history = TrainingHistory()
+        self._bootstrap()
+
+    def _bootstrap(self) -> None:
+        """Seed the buffer with the max/min-submodel trajectories."""
+        task = self.env.sample_task(self.rng)
+        for actions in bootstrap_actions(self.env):
+            outcome = self.env.evaluate_actions(actions, task)
+            self.buffer.append(_Relabeled(
+                self.env.achieved_values(outcome, task), actions))
+
+    # -- internals -------------------------------------------------------
+    def _collect(self) -> None:
+        cfg = self.cfg
+        tasks = [self.env.sample_task(self.rng)
+                 for _ in range(cfg.rollout_batch)]
+        contexts = np.stack([self.env.encode_task(t) for t in tasks])
+        batch = self.policy.rollout(contexts, self.env.schedule, self.rng)
+        for i, task in enumerate(tasks):
+            outcome = self.env.evaluate_actions(batch.actions[i], task)
+            self.buffer.append(_Relabeled(
+                self.env.achieved_values(outcome, task),
+                batch.actions[i].copy()))
+
+    def _train_batch(self) -> Optional[float]:
+        cfg = self.cfg
+        if not self.buffer:
+            return None
+        n = min(cfg.train_batch, len(self.buffer))
+        picks = self.rng.integers(0, len(self.buffer), n)
+        entries = [self.buffer[int(i)] for i in picks]
+        contexts = np.stack([
+            self.env.encode_task(self.env.task_from_values(e.goal_values))
+            for e in entries])
+        actions = np.stack([e.actions for e in entries])
+        return supervised_update(self.policy, self.opt, self.env,
+                                 contexts, actions)
+
+    # -- driver -----------------------------------------------------------
+    def train(self, eval_tasks: Optional[Sequence[Task]] = None,
+              eval_mask: Optional[np.ndarray] = None) -> TrainingHistory:
+        cfg = self.cfg
+        if eval_tasks is None:
+            eval_tasks = self.env.validation_tasks(cfg.eval_points)
+        if eval_mask is None:
+            eval_mask = satisfiable_mask(self.env, eval_tasks)
+        collected = 0
+        while collected < cfg.total_steps:
+            self._collect()
+            collected += cfg.rollout_batch
+            for _ in range(cfg.train_every):
+                loss = self._train_batch()
+                if loss is not None:
+                    self.history.losses.append(loss)
+            if (collected % cfg.eval_every) < cfg.rollout_batch:
+                res = evaluate_policy(self.policy, self.env, eval_tasks,
+                                      eval_mask)
+                self.history.record(collected, res)
+        return self.history

@@ -1,0 +1,122 @@
+"""Proximal Policy Optimization baseline (Schulman et al. 2017).
+
+On-policy comparison point for SUPREME (Fig. 11/12).  The episode yields
+a single terminal reward (Eq. 2/3), so returns are constant across the
+step sequence and the learned value head (conditioned on the LSTM hidden
+state) provides the baseline.  Uses the standard clipped surrogate with
+an entropy bonus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import functional as F
+from ..nn.optim import Adam, clip_grad_norm
+from .common import TrainingHistory, evaluate_policy, satisfiable_mask
+from .env import MurmurationEnv, Task
+from .policy import LSTMPolicy, PolicyConfig
+
+__all__ = ["PPOConfig", "PPOTrainer"]
+
+
+@dataclass
+class PPOConfig:
+    total_steps: int = 2000          # collected episodes
+    rollout_batch: int = 16
+    epochs_per_batch: int = 3
+    clip: float = 0.2
+    lr: float = 3e-4
+    value_coef: float = 0.5
+    entropy_coef: float = 0.01
+    max_grad_norm: float = 5.0
+    eval_every: int = 200
+    eval_points: int = 4
+    seed: int = 0
+
+
+class PPOTrainer:
+    def __init__(self, env: MurmurationEnv, config: Optional[PPOConfig] = None,
+                 policy: Optional[LSTMPolicy] = None):
+        self.env = env
+        self.cfg = config or PPOConfig()
+        self.rng = np.random.default_rng(self.cfg.seed)
+        self.policy = policy or LSTMPolicy.for_env(
+            env, PolicyConfig(seed=self.cfg.seed))
+        self.opt = Adam(self.policy.parameters(), lr=self.cfg.lr)
+        self.history = TrainingHistory()
+        self._collected = 0
+
+    def _ppo_update(self, contexts: np.ndarray, actions: np.ndarray,
+                    old_logps: np.ndarray, returns: np.ndarray) -> float:
+        """One clipped-surrogate epoch over a rollout batch."""
+        cfg = self.cfg
+        b, t = actions.shape
+        logits_list, values_list = self.policy.teacher_forward(
+            contexts, actions, self.env.schedule)
+        values = np.stack(values_list, axis=1)            # (B, T)
+        adv = returns[:, None] - values                   # (B, T)
+        adv_n = (adv - adv.mean()) / (adv.std() + 1e-8)
+
+        grad_logits: List[np.ndarray] = []
+        total_loss = 0.0
+        for step_t in range(t):
+            logits = logits_list[step_t]
+            logp_all = F.log_softmax(logits, axis=-1)
+            p = np.exp(logp_all)
+            a = actions[:, step_t]
+            logp = logp_all[np.arange(b), a]
+            ratio = np.exp(logp - old_logps[:, step_t])
+            a_t = adv_n[:, step_t]
+            unclipped = ratio * a_t
+            clipped = np.clip(ratio, 1 - cfg.clip, 1 + cfg.clip) * a_t
+            take_unclipped = unclipped <= clipped
+            total_loss += -float(np.minimum(unclipped, clipped).mean())
+            # d(-surrogate)/d(logp) — zero where the clip is active.
+            dlogp = np.where(take_unclipped, -ratio * a_t, 0.0) / (b * t)
+            g = p * dlogp[:, None]
+            g[np.arange(b), a] -= dlogp
+            # entropy bonus: maximize H => subtract dH/dlogits
+            ent_grad = -(p * (logp_all + 1.0)
+                         - p * (p * (logp_all + 1.0)).sum(axis=1, keepdims=True))
+            g -= cfg.entropy_coef * ent_grad / (b * t)
+            grad_logits.append(g)
+
+        # value loss: MSE(values, returns)
+        grad_values = [
+            cfg.value_coef * 2.0 * (values[:, step_t] - returns) / (b * t)
+            for step_t in range(t)]
+        self.opt.zero_grad()
+        self.policy.teacher_backward(grad_logits, grad_values)
+        clip_grad_norm(self.policy.parameters(), cfg.max_grad_norm)
+        self.opt.step()
+        return total_loss / t
+
+    def train(self, eval_tasks: Optional[Sequence[Task]] = None,
+              eval_mask: Optional[np.ndarray] = None) -> TrainingHistory:
+        cfg = self.cfg
+        if eval_tasks is None:
+            eval_tasks = self.env.validation_tasks(cfg.eval_points)
+        if eval_mask is None:
+            eval_mask = satisfiable_mask(self.env, eval_tasks)
+        while self._collected < cfg.total_steps:
+            tasks = [self.env.sample_task(self.rng)
+                     for _ in range(cfg.rollout_batch)]
+            contexts = np.stack([self.env.encode_task(t) for t in tasks])
+            batch = self.policy.rollout(contexts, self.env.schedule, self.rng)
+            returns = np.array([
+                self.env.evaluate_actions(batch.actions[i], tasks[i]).reward
+                for i in range(len(tasks))])
+            for _ in range(cfg.epochs_per_batch):
+                loss = self._ppo_update(contexts, batch.actions,
+                                        batch.log_probs, returns)
+                self.history.losses.append(loss)
+            self._collected += len(tasks)
+            if (self._collected % cfg.eval_every) < cfg.rollout_batch:
+                res = evaluate_policy(self.policy, self.env, eval_tasks,
+                                      eval_mask)
+                self.history.record(self._collected, res)
+        return self.history

@@ -1,0 +1,68 @@
+"""Trajectory mutation operators (paper Sec. 4.4, "Data Mutation").
+
+Mutated copies of stored trajectories are re-priced by the environment,
+hindsight-relabeled and re-inserted — cheap, policy-free exploration
+around known-good strategies.  Besides uniform random perturbation the
+paper mentions two heuristics, both implemented here:
+
+* **locality improvement** — retarget device selections to the device
+  the trajectory already uses most (fewer boundary crossings);
+* **suboptimal-bucket refresh** — mutation effort is directed at buckets
+  whose best reward lags their neighborhood (handled by the trainer via
+  :func:`suboptimal_buckets`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..env import MurmurationEnv
+from .buffer import BucketedReplayBuffer, Entry
+
+__all__ = ["mutate_actions", "improve_locality", "suboptimal_buckets"]
+
+
+def mutate_actions(actions: np.ndarray, env: MurmurationEnv,
+                   rng: np.random.Generator, rate: float = 0.2) -> np.ndarray:
+    """Uniformly resample each decision with probability ``rate``."""
+    out = actions.copy()
+    for t, step in enumerate(env.schedule):
+        if rng.random() < rate:
+            out[t] = int(rng.integers(step.n_choices))
+    return out
+
+
+def improve_locality(actions: np.ndarray, env: MurmurationEnv,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Heuristic mutation: move a random subset of device decisions to
+    the trajectory's most-used device."""
+    device_steps = [t for t, s in enumerate(env.schedule)
+                    if s.kind in ("device", "head_device")]
+    if not device_steps:
+        return actions.copy()
+    votes = np.bincount([int(actions[t]) for t in device_steps],
+                        minlength=env.num_devices)
+    target = int(votes.argmax())
+    out = actions.copy()
+    for t in device_steps:
+        if rng.random() < 0.5:
+            out[t] = target
+    return out
+
+
+def suboptimal_buckets(buffer: BucketedReplayBuffer,
+                       quantile: float = 0.5) -> List[Tuple[int, ...]]:
+    """Buckets whose best reward is below the populated-bucket median —
+    the trainer points extra mutation effort at these."""
+    bests = []
+    for idx in buffer.all_indices():
+        entries = buffer.lookup(buffer.representative(idx))
+        if entries:
+            bests.append((idx, max(e.reward for e in entries)))
+    if not bests:
+        return []
+    rewards = np.array([b[1] for b in bests])
+    cut = float(np.quantile(rewards, quantile))
+    return [idx for idx, r in bests if r <= cut]

@@ -1,0 +1,25 @@
+"""Stage 3 runtime: simulated clock, RPC substitute, the distributed
+executor, model reconfiguration and the monitoring predictor."""
+
+from .clock import SimulatedClock
+from .executor import DistributedExecutor, ExecutionResult
+from .predictor import LinearPredictor, MonitoringPredictor
+from .reconfig import FixedModelStore, ModelReconfig, SwitchRecord
+from .rpc import Message, Transport
+from .server import InferenceServer, RequestRecord, ServingStats
+
+__all__ = [
+    "SimulatedClock",
+    "Transport",
+    "Message",
+    "DistributedExecutor",
+    "ExecutionResult",
+    "ModelReconfig",
+    "FixedModelStore",
+    "SwitchRecord",
+    "LinearPredictor",
+    "MonitoringPredictor",
+    "InferenceServer",
+    "RequestRecord",
+    "ServingStats",
+]

@@ -1,0 +1,37 @@
+"""Simulated wall clock for the runtime.
+
+The distributed executor performs *real* NumPy computation but accounts
+*modelled* time (device latency model + network simulator), advancing a
+:class:`SimulatedClock`.  This is the standard discrete-event trick that
+lets a laptop reproduce a five-Raspberry-Pi testbed's timing behaviour.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimulatedClock"]
+
+
+class SimulatedClock:
+    """Monotonically advancing simulated time in seconds."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError(f"cannot advance time by {dt}")
+        self._now += dt
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        if t < self._now:
+            raise ValueError(f"cannot rewind clock from {self._now} to {t}")
+        self._now = t
+        return self._now
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimulatedClock(now={self._now:.6f})"

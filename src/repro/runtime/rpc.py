@@ -1,0 +1,79 @@
+"""In-process RPC substitute for gRPC.
+
+The paper's devices exchange activation tensors over gRPC; here the
+"wire" is a function call whose cost is charged to the simulated clock
+via the cluster's link model — and whose payload really is the
+(optionally quantized) tensor, so precision loss is physically incurred,
+not just priced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from ..netsim.topology import Cluster
+from ..nn.quantize import QuantizedTensor, dequantize, quantize
+
+__all__ = ["Message", "Transport"]
+
+
+@dataclass
+class Message:
+    """One delivered payload with accounting metadata."""
+
+    src: int
+    dst: int
+    payload: Any
+    nbytes: int
+    sent_at: float
+    delivered_at: float
+
+
+class Transport:
+    """Message channel between cluster devices with full accounting."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.log: List[Message] = []
+
+    def send_tensor(self, x: np.ndarray, src: int, dst: int, bits: int,
+                    now: float) -> Message:
+        """Quantize, 'transmit', dequantize.
+
+        Returns the delivered message; ``payload`` is the tensor as seen
+        by the receiver (with real quantization error for bits < 32).
+        """
+        qt = quantize(x, bits)
+        nbytes = qt.nbytes
+        if src == dst:
+            delivered = now
+            payload = x
+        else:
+            delivered = now + self.cluster.transfer_time(src, dst, nbytes)
+            payload = dequantize(qt)
+        msg = Message(src, dst, payload, nbytes, now, delivered)
+        self.log.append(msg)
+        return msg
+
+    def send_control(self, src: int, dst: int, payload: Any, now: float,
+                     nbytes: int = 256) -> Message:
+        """Small control-plane message (strategy updates, probes)."""
+        delivered = (now if src == dst
+                     else now + self.cluster.transfer_time(src, dst, nbytes))
+        msg = Message(src, dst, payload, nbytes, now, delivered)
+        self.log.append(msg)
+        return msg
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(m.nbytes for m in self.log if m.src != m.dst)
+
+    @property
+    def num_messages(self) -> int:
+        return sum(1 for m in self.log if m.src != m.dst)
+
+    def reset_log(self) -> None:
+        self.log.clear()

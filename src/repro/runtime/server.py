@@ -1,0 +1,127 @@
+"""A serving loop on top of the Murmuration facade (extension).
+
+The paper's runtime decides per request; this module adds the missing
+piece a deployment needs around that: a request arrival process, a FIFO
+queue on the local device, and end-to-end statistics (queueing + decision
++ switch + inference), all on simulated time.
+
+Useful for studying what SLO compliance means under load: an adaptation
+policy that picks slightly faster submodels can dominate a higher-
+accuracy one once queueing delay is counted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from ..netsim.topology import NetworkCondition
+
+if TYPE_CHECKING:  # avoid core <-> runtime circular import at runtime
+    from ..core.murmuration import InferenceRecord, Murmuration
+
+__all__ = ["RequestRecord", "ServingStats", "InferenceServer"]
+
+
+@dataclass(frozen=True)
+class RequestRecord:
+    """Timeline of one served request (simulated seconds)."""
+
+    arrival: float
+    start: float
+    finish: float
+    inference_s: float
+    decision_s: float
+    switch_s: float
+    satisfied: bool
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.start - self.arrival
+
+    @property
+    def end_to_end_s(self) -> float:
+        return self.finish - self.arrival
+
+
+@dataclass
+class ServingStats:
+    records: List[RequestRecord] = field(default_factory=list)
+
+    def _e2e(self) -> np.ndarray:
+        return np.array([r.end_to_end_s for r in self.records])
+
+    @property
+    def throughput_rps(self) -> float:
+        if not self.records:
+            return 0.0
+        span = self.records[-1].finish - self.records[0].arrival
+        return len(self.records) / span if span > 0 else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        return float(np.percentile(self._e2e(), q) * 1e3)
+
+    @property
+    def mean_queue_wait_ms(self) -> float:
+        return float(np.mean([r.queue_wait_s for r in self.records]) * 1e3)
+
+    @property
+    def slo_compliance(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(r.satisfied for r in self.records) / len(self.records)
+
+    def summary(self) -> str:
+        return (f"{len(self.records)} requests, "
+                f"{self.throughput_rps:.1f} rps, "
+                f"p50={self.percentile_ms(50):.1f}ms "
+                f"p95={self.percentile_ms(95):.1f}ms, "
+                f"queue={self.mean_queue_wait_ms:.1f}ms, "
+                f"compliance={self.slo_compliance:.0%}")
+
+
+class InferenceServer:
+    """Poisson arrivals -> FIFO queue -> per-request adaptation."""
+
+    def __init__(self, system: "Murmuration", arrival_rate_hz: float,
+                 seed: int = 0):
+        if arrival_rate_hz <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.system = system
+        self.rate = arrival_rate_hz
+        self.rng = np.random.default_rng(seed)
+
+    def run(self, num_requests: int,
+            condition_trace: Optional[Sequence[NetworkCondition]] = None,
+            trace_period_s: float = 1.0) -> ServingStats:
+        """Serve ``num_requests``; returns the timeline statistics.
+
+        ``condition_trace`` (optional) switches the true network state
+        every ``trace_period_s`` of simulated time.
+        """
+        stats = ServingStats()
+        arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
+                                                  num_requests))
+        server_free = 0.0
+        for arrival in arrivals:
+            if condition_trace:
+                idx = min(int(arrival / trace_period_s),
+                          len(condition_trace) - 1)
+                self.system.update_condition(condition_trace[idx])
+            start = max(float(arrival), server_free)
+            record: "InferenceRecord" = self.system.infer(now=start)
+            service = (record.decision_time_s + record.switch_time_s
+                       + record.latency_s)
+            finish = start + service
+            server_free = finish
+            stats.records.append(RequestRecord(
+                arrival=float(arrival), start=start, finish=finish,
+                inference_s=record.latency_s,
+                decision_s=record.decision_time_s,
+                switch_s=record.switch_time_s,
+                satisfied=record.satisfied))
+        return stats

@@ -1,0 +1,5 @@
+"""Utility helpers: module checkpointing."""
+
+from .checkpoint import load_module, module_arrays, save_module
+
+__all__ = ["save_module", "load_module", "module_arrays"]

@@ -1,0 +1,61 @@
+"""Checkpointing: save/load any :class:`~repro.nn.layers.Module`.
+
+Trained supernets and RL policies are plain parameter dictionaries, so a
+single compressed ``.npz`` holds them.  BatchNorm running statistics
+(which are state but not Parameters) are captured too — without them a
+restored supernet would need recalibration before every use.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..nn.layers import Module
+
+__all__ = ["save_module", "load_module", "module_arrays"]
+
+_STAT_ATTRS = ("running_mean", "running_var")
+
+
+def module_arrays(module: Module) -> Dict[str, np.ndarray]:
+    """All persistent arrays of a module: parameters + BN statistics."""
+    out: Dict[str, np.ndarray] = dict(module.state_dict())
+    for i, m in enumerate(module.modules()):
+        for attr in _STAT_ATTRS:
+            if hasattr(m, attr):
+                out[f"__stat{i}.{attr}"] = getattr(m, attr).copy()
+    return out
+
+
+def save_module(module: Module, path: str) -> str:
+    """Write a module checkpoint; returns the path written."""
+    arrays = module_arrays(module)
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path if path.endswith(".npz") else path + ".npz"
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Restore a checkpoint into a structurally identical module."""
+    if not os.path.exists(path) and os.path.exists(path + ".npz"):
+        path = path + ".npz"
+    with np.load(path) as data:
+        params = {k: data[k] for k in data.files
+                  if not k.startswith("__stat")}
+        module.load_state_dict(params)
+        mods = list(module.modules())
+        for k in data.files:
+            if not k.startswith("__stat"):
+                continue
+            head, attr = k[len("__stat"):].split(".", 1)
+            target = getattr(mods[int(head)], attr)
+            if target.shape != data[k].shape:
+                raise ValueError(
+                    f"statistic shape mismatch for {k}: "
+                    f"{data[k].shape} vs {target.shape}")
+            target[...] = data[k]
+    return module

@@ -1,0 +1,29 @@
+"""CLI figure runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13" in out and "vit" in out
+
+    def test_no_command_lists(self, capsys):
+        assert main([]) == 0
+        assert "available figures" in capsys.readouterr().out
+
+    def test_fig19_runs(self, capsys):
+        assert main(["fig19"]) == 0
+        out = capsys.readouterr().out
+        assert "supernet reconfig" in out
+
+    def test_vit_runs(self, capsys):
+        assert main(["vit"]) == 0
+        assert "patch-par" in capsys.readouterr().out
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,203 @@
+"""Core: SLO API, strategy cache, decision engines, the facade."""
+
+import numpy as np
+import pytest
+
+from repro.core import (SLO, Murmuration, RLDecisionEngine,
+                        SearchDecisionEngine, Strategy, StrategyCache)
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE, build_graph, max_arch
+from repro.netsim import NetworkCondition
+from repro.partition import single_device_plan
+from repro.rl import EnvConfig, LSTMPolicy, MurmurationEnv
+
+
+class TestSLO:
+    def test_latency_constructors(self):
+        assert SLO.latency(0.14).value == 0.14
+        assert SLO.latency_ms(140).value == pytest.approx(0.14)
+
+    def test_accuracy_constructor(self):
+        assert SLO.accuracy(75.0).kind == "accuracy"
+
+    @pytest.mark.parametrize("kind,value", [("latency", 0.0),
+                                            ("latency", -1.0),
+                                            ("accuracy", 0.0),
+                                            ("accuracy", 101.0)])
+    def test_invalid_values(self, kind, value):
+        with pytest.raises(ValueError):
+            SLO(kind, value)
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            SLO("throughput", 5.0)
+
+    def test_satisfied_by(self):
+        lat = SLO.latency(0.1)
+        assert lat.satisfied_by(0.09, 50.0)
+        assert not lat.satisfied_by(0.11, 99.0)
+        acc = SLO.accuracy(75.0)
+        assert acc.satisfied_by(10.0, 75.0)
+        assert not acc.satisfied_by(0.001, 74.9)
+
+
+def _strategy():
+    arch = max_arch(MBV3_SPACE)
+    graph = build_graph(arch, MBV3_SPACE)
+    return Strategy(arch, single_device_plan(graph), 0.1, 78.0)
+
+
+class TestStrategyCache:
+    def test_put_get_roundtrip(self):
+        cache = StrategyCache()
+        slo = SLO.latency(0.14)
+        cond = NetworkCondition((100.0,), (10.0,))
+        assert cache.get(slo, cond) is None
+        s = _strategy()
+        cache.put(slo, cond, s)
+        assert cache.get(slo, cond) is s
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_nearby_conditions_share_cell(self):
+        cache = StrategyCache(bw_step=25.0, delay_step=10.0)
+        slo = SLO.latency(0.14)
+        s = _strategy()
+        cache.put(slo, NetworkCondition((100.0,), (10.0,)), s)
+        assert cache.get(slo, NetworkCondition((104.0,), (11.0,))) is s
+
+    def test_distinct_slos_distinct_cells(self):
+        cache = StrategyCache()
+        cond = NetworkCondition((100.0,), (10.0,))
+        cache.put(SLO.latency(0.1), cond, _strategy())
+        assert cache.get(SLO.latency(0.3), cond) is None
+        assert cache.get(SLO.accuracy(75.0), cond) is None
+
+    def test_lru_eviction(self):
+        cache = StrategyCache(capacity=2)
+        s = _strategy()
+        conds = [NetworkCondition((b,), (10.0,)) for b in (50.0, 150.0, 300.0)]
+        for c in conds:
+            cache.put(SLO.latency(0.1), c, s)
+        assert len(cache) == 2
+        assert cache.get(SLO.latency(0.1), conds[0]) is None  # evicted
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            StrategyCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = StrategyCache()
+        assert cache.hit_rate == 0.0
+        cond = NetworkCondition((100.0,), (10.0,))
+        cache.get(SLO.latency(0.1), cond)
+        cache.put(SLO.latency(0.1), cond, _strategy())
+        cache.get(SLO.latency(0.1), cond)
+        assert cache.hit_rate == 0.5
+
+
+@pytest.fixture(scope="module")
+def devices():
+    return [rpi4(), desktop_gtx1080()]
+
+
+class TestSearchDecisionEngine:
+    def test_loose_latency_slo_satisfiable(self, devices):
+        eng = SearchDecisionEngine(MBV3_SPACE, devices)
+        rec = eng.decide(SLO.latency(1.0), NetworkCondition((200.0,), (20.0,)))
+        assert rec.strategy is not None
+        assert rec.strategy.expected_latency_s <= 1.0
+        assert rec.decision_time_s > 0
+
+    def test_impossible_slo_returns_none(self, devices):
+        eng = SearchDecisionEngine(MBV3_SPACE, devices)
+        rec = eng.decide(SLO.latency(0.0001),
+                         NetworkCondition((200.0,), (20.0,)))
+        assert rec.strategy is None
+
+    def test_accuracy_slo_minimizes_latency(self, devices):
+        eng = SearchDecisionEngine(MBV3_SPACE, devices)
+        hi = eng.decide(SLO.accuracy(78.0), NetworkCondition((400.0,), (5.0,)))
+        lo = eng.decide(SLO.accuracy(72.0), NetworkCondition((400.0,), (5.0,)))
+        assert hi.strategy and lo.strategy
+        assert lo.strategy.expected_latency_s <= hi.strategy.expected_latency_s
+
+
+class TestRLDecisionEngine:
+    def test_decide_runs_policy(self, devices):
+        env = MurmurationEnv(MBV3_SPACE, devices, EnvConfig())
+        policy = LSTMPolicy.for_env(env)
+        eng = RLDecisionEngine(env, policy)
+        rec = eng.decide(SLO.latency(0.5), NetworkCondition((200.0,), (20.0,)))
+        assert rec.engine == "rl"
+        assert rec.decision_time_s < 1.0  # milliseconds in practice
+
+    def test_slo_kind_mismatch(self, devices):
+        env = MurmurationEnv(MBV3_SPACE, devices,
+                             EnvConfig(slo_kind="latency"))
+        eng = RLDecisionEngine(env, LSTMPolicy.for_env(env))
+        with pytest.raises(ValueError):
+            eng.decide(SLO.accuracy(75.0), NetworkCondition((200.0,), (20.0,)))
+
+
+class TestMurmurationFacade:
+    def _system(self, devices, use_predictor=True):
+        cond = NetworkCondition((200.0,), (20.0,))
+        engine = SearchDecisionEngine(MBV3_SPACE, devices)
+        return Murmuration(MBV3_SPACE, devices, cond, engine,
+                           slo=SLO.latency(0.3), use_predictor=use_predictor,
+                           seed=1)
+
+    def test_infer_plan_only(self, devices):
+        sys = self._system(devices)
+        rec = sys.infer()
+        assert rec.satisfied
+        assert rec.latency_s <= 0.3
+        assert rec.strategy is not None
+
+    def test_cache_hit_on_second_request(self, devices):
+        sys = self._system(devices, use_predictor=False)
+        r1 = sys.infer()
+        r2 = sys.infer()
+        assert not r1.cache_hit
+        assert r2.cache_hit
+        assert r2.decision_time_s == 0.0
+
+    def test_requires_slo(self, devices):
+        sys = self._system(devices)
+        sys.slo = None
+        with pytest.raises(RuntimeError, match="SLO"):
+            sys.infer()
+
+    def test_set_slo_changes_strategy_quality(self, devices):
+        sys = self._system(devices)
+        sys.set_slo(SLO.latency(1.0))
+        loose = sys.infer()
+        sys.set_slo(SLO.latency(0.12))
+        tight = sys.infer()
+        assert tight.latency_s <= 0.12 + 1e-9
+        assert loose.accuracy >= tight.accuracy - 1e-9
+
+    def test_adapts_to_condition_change(self, devices):
+        sys = self._system(devices)
+        good = sys.infer()
+        sys.update_condition(NetworkCondition((20.0,), (95.0,)))
+        # burn a few probes so the EWMA catches up
+        for _ in range(6):
+            sys.observed_condition()
+        degraded = sys.infer()
+        assert degraded.satisfied
+        # under a bad network the system trades accuracy for latency
+        assert degraded.accuracy <= good.accuracy + 1e-9
+
+    def test_precompute_warms_cache(self, devices):
+        sys = self._system(devices, use_predictor=False)
+        conds = [NetworkCondition((b,), (20.0,)) for b in (100.0, 300.0)]
+        n = sys.precompute(conds)
+        assert n == 2
+        assert sys.cache.get(sys.slo, conds[0]) is not None
+
+    def test_compliance_rate_tracks_records(self, devices):
+        sys = self._system(devices)
+        assert sys.compliance_rate() == 0.0
+        sys.infer()
+        assert sys.compliance_rate() == 1.0

@@ -1,0 +1,69 @@
+"""RLDecisionEngine fallback semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLO, RLDecisionEngine
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.netsim import NetworkCondition
+from repro.rl import EnvConfig, LSTMPolicy, MurmurationEnv, PolicyConfig
+
+
+@pytest.fixture(scope="module")
+def env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                          EnvConfig(slo_kind="latency"))
+
+
+@pytest.fixture
+def untrained_policy(env):
+    # A fresh random policy: its greedy strategy will often miss SLOs.
+    return LSTMPolicy.for_env(env, PolicyConfig(hidden_size=16, seed=42))
+
+
+class TestFallback:
+    def test_fallback_rescues_satisfiable_slo(self, env, untrained_policy):
+        """Even with a random policy, any SLO the seed strategies can
+        meet is served."""
+        engine = RLDecisionEngine(env, untrained_policy, fallback=True)
+        # generous SLO: the min submodel locally is ~130 ms
+        rec = engine.decide(SLO.latency_ms(700),
+                            NetworkCondition((10.0,), (90.0,)))
+        assert rec.strategy is not None
+        assert rec.strategy.expected_latency_s <= 0.7
+
+    def test_no_fallback_exposes_raw_policy(self, env, untrained_policy):
+        engine_raw = RLDecisionEngine(env, untrained_policy, fallback=False)
+        engine_fb = RLDecisionEngine(env, untrained_policy, fallback=True)
+        conditions = [NetworkCondition((b,), (d,))
+                      for b in (20.0, 100.0, 300.0)
+                      for d in (10.0, 50.0, 90.0)]
+        raw_hits = sum(engine_raw.decide(SLO.latency_ms(400), c).strategy
+                       is not None for c in conditions)
+        fb_hits = sum(engine_fb.decide(SLO.latency_ms(400), c).strategy
+                      is not None for c in conditions)
+        assert fb_hits >= raw_hits
+        assert fb_hits == len(conditions)  # 400 ms is always satisfiable
+
+    def test_impossible_slo_still_none(self, env, untrained_policy):
+        engine = RLDecisionEngine(env, untrained_policy, fallback=True)
+        rec = engine.decide(SLO.latency(1e-5),
+                            NetworkCondition((100.0,), (10.0,)))
+        assert rec.strategy is None
+
+    def test_policy_choice_kept_when_it_satisfies(self, env,
+                                                  untrained_policy):
+        """The fallback only activates on SLO misses: a satisfying
+        policy decision is returned untouched (even if a seed strategy
+        would score higher)."""
+        engine = RLDecisionEngine(env, untrained_policy, fallback=True)
+        condition = NetworkCondition((400.0,), (5.0,))
+        rec = engine.decide(SLO.latency(5.0), condition)  # trivially met
+        assert rec.strategy is not None
+        # matches the raw (no-fallback) decision exactly
+        raw = RLDecisionEngine(env, untrained_policy,
+                               fallback=False).decide(SLO.latency(5.0),
+                                                      condition)
+        assert raw.strategy is not None
+        assert rec.strategy.arch == raw.strategy.arch

@@ -1,0 +1,27 @@
+"""CSV exporters for external plotting."""
+
+import csv
+
+from repro.eval import (accuracy_grid_to_csv, compliance_to_csv)
+from repro.eval.experiments import MethodPoint
+
+
+class TestCSVExport:
+    def test_accuracy_grid_csv(self, tmp_path):
+        data = {"m1": {(5.0, 50.0): MethodPoint(True, 75.0, 120.0),
+                       (5.0, 100.0): MethodPoint(False, None, None)}}
+        path = str(tmp_path / "fig.csv")
+        accuracy_grid_to_csv(data, path, row_label="delay", col_label="bw")
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["method", "delay", "bw", "satisfied", "accuracy",
+                           "latency_ms"]
+        assert rows[1][:4] == ["m1", "5.0", "50.0", "1"]
+        assert rows[2][3] == "0" and rows[2][4] == ""
+
+    def test_compliance_csv(self, tmp_path):
+        data = {"ours": {600.0: 100.0, 1000.0: 95.5}}
+        path = str(tmp_path / "c.csv")
+        compliance_to_csv(data, path)
+        rows = list(csv.reader(open(path)))
+        assert rows[0] == ["method", "slo_ms", "compliance_pct"]
+        assert len(rows) == 3

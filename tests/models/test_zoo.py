@@ -1,0 +1,69 @@
+"""Fixed-model profiles: totals calibrated against published numbers."""
+
+import pytest
+
+from repro.models import MODEL_ZOO, get_model
+
+
+# (name, GMACs, Mparams, top-1 %) — published references the paper uses.
+PUBLISHED = [
+    ("mobilenet_v3_large", 0.219, 5.4, 75.2),
+    ("resnet50", 4.1, 25.6, 76.1),
+    ("inception_v3", 5.7, 27.2, 77.3),
+    ("densenet161", 7.8, 28.7, 77.1),
+    ("resnext101_32x8d", 16.4, 88.8, 79.3),
+]
+
+
+class TestZooCalibration:
+    @pytest.mark.parametrize("name,gmacs,mparams,acc", PUBLISHED)
+    def test_flops_within_10pct(self, name, gmacs, mparams, acc):
+        g = get_model(name)
+        measured = g.total_flops / 2e9  # our convention: flops = 2*MACs
+        assert measured == pytest.approx(gmacs, rel=0.10)
+
+    @pytest.mark.parametrize("name,gmacs,mparams,acc", PUBLISHED)
+    def test_params_within_10pct(self, name, gmacs, mparams, acc):
+        g = get_model(name)
+        measured = g.total_weight_bytes / 4e6
+        assert measured == pytest.approx(mparams, rel=0.10)
+
+    @pytest.mark.parametrize("name,gmacs,mparams,acc", PUBLISHED)
+    def test_accuracy_tag(self, name, gmacs, mparams, acc):
+        assert get_model(name).accuracy == acc
+
+
+class TestZooStructure:
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            get_model("vgg16")
+
+    @pytest.mark.parametrize("name", list(MODEL_ZOO))
+    def test_head_is_fused_tail(self, name):
+        g = get_model(name)
+        assert g.blocks[-1].fused and g.blocks[-2].fused
+        assert not g.blocks[0].fused
+
+    @pytest.mark.parametrize("name", list(MODEL_ZOO))
+    def test_spatial_dims_monotone_nonincreasing(self, name):
+        g = get_model(name)
+        hs = [b.out_hw[0] for b in g.blocks if not b.fused]
+        assert all(a >= b for a, b in zip(hs, hs[1:]))
+
+    @pytest.mark.parametrize("name", list(MODEL_ZOO))
+    def test_positive_flops(self, name):
+        assert all(b.flops > 0 for b in get_model(name).blocks)
+
+    def test_accuracy_ordering_matches_paper(self):
+        """The paper's accuracy ladder: MBV3 < ResNet50 < DenseNet161 <
+        Inception < ResNeXt101."""
+        accs = {n: get_model(n).accuracy for n in MODEL_ZOO}
+        assert (accs["mobilenet_v3_large"] < accs["resnet50"]
+                < accs["densenet161"] < accs["inception_v3"]
+                < accs["resnext101_32x8d"])
+
+    def test_resolution_variants(self):
+        from repro.models import mobilenet_v3_large
+        g = mobilenet_v3_large(resolution=160)
+        assert g.input_hw == (160, 160)
+        assert g.total_flops < mobilenet_v3_large(224).total_flops

@@ -1,0 +1,113 @@
+"""Accuracy model monotonicity/bounds and the learned predictor."""
+
+import numpy as np
+import pytest
+
+from repro.models import get_model
+from repro.nas import (ACC_MAX, MBV3_SPACE, ArchConfig, arch_accuracy,
+                       build_graph, fit_predictor, max_arch, min_arch,
+                       plan_accuracy_penalty, random_arch, strategy_accuracy)
+from repro.partition import Grid, layerwise_split_plan, single_device_plan, spatial_plan
+
+
+SPACE = MBV3_SPACE
+
+
+class TestArchAccuracy:
+    def test_max_is_anchor(self):
+        assert arch_accuracy(max_arch(SPACE), SPACE) == pytest.approx(
+            ACC_MAX, abs=0.2)
+
+    def test_min_in_low_seventies(self):
+        acc = arch_accuracy(min_arch(SPACE), SPACE)
+        assert 70.0 < acc < 72.5
+
+    def test_max_below_resnext(self):
+        """Fig. 15: only Neurosurgeon+ResNeXt covers the top accuracy."""
+        assert arch_accuracy(max_arch(SPACE), SPACE) < get_model(
+            "resnext101_32x8d").accuracy
+
+    @pytest.mark.parametrize("dim", ["resolution", "depth", "kernel",
+                                     "expand"])
+    def test_monotone_per_dimension(self, dim):
+        mx = max_arch(SPACE)
+        slots = SPACE.num_stages * SPACE.max_depth
+        if dim == "resolution":
+            worse = ArchConfig(min(SPACE.resolution_options), mx.depths,
+                               mx.kernels, mx.expands)
+        elif dim == "depth":
+            worse = ArchConfig(mx.resolution,
+                               (SPACE.min_depth,) * SPACE.num_stages,
+                               mx.kernels, mx.expands)
+        elif dim == "kernel":
+            worse = ArchConfig(mx.resolution, mx.depths,
+                               (min(SPACE.kernel_options),) * slots,
+                               mx.expands)
+        else:
+            worse = ArchConfig(mx.resolution, mx.depths, mx.kernels,
+                               (min(SPACE.expand_options),) * slots)
+        assert arch_accuracy(worse, SPACE) < arch_accuracy(mx, SPACE) - 0.3
+
+    def test_deterministic(self):
+        a = random_arch(SPACE, np.random.default_rng(1))
+        assert arch_accuracy(a, SPACE) == arch_accuracy(a, SPACE)
+
+    def test_residual_varies_across_archs(self):
+        rng = np.random.default_rng(2)
+        accs = {round(arch_accuracy(random_arch(SPACE, rng), SPACE), 6)
+                for _ in range(20)}
+        assert len(accs) > 15
+
+
+class TestPlanPenalty:
+    def _graph(self):
+        return build_graph(max_arch(SPACE), SPACE)
+
+    def test_unpartitioned_fp32_free(self):
+        g = self._graph()
+        assert plan_accuracy_penalty(single_device_plan(g)) == 0.0
+
+    def test_partitioning_costs(self):
+        g = self._graph()
+        p = spatial_plan(g, Grid(2, 2), [1, 2, 3, 4])
+        pen = plan_accuracy_penalty(p)
+        assert 0.2 < pen < 1.5  # "small impact" per the paper
+
+    def test_2x2_costs_more_than_1x2(self):
+        g = self._graph()
+        p12 = spatial_plan(g, Grid(1, 2), [1, 2])
+        p22 = spatial_plan(g, Grid(2, 2), [1, 2, 3, 4])
+        assert plan_accuracy_penalty(p22) > plan_accuracy_penalty(p12)
+
+    def test_8bit_crossing_costs(self):
+        g = self._graph()
+        p32 = layerwise_split_plan(g, 5, bits=32)
+        p8 = layerwise_split_plan(g, 5, bits=8)
+        assert plan_accuracy_penalty(p8) > plan_accuracy_penalty(p32)
+
+    def test_strategy_accuracy_combines(self):
+        g = self._graph()
+        a = max_arch(SPACE)
+        p = spatial_plan(g, Grid(2, 2), [1, 2, 3, 4])
+        assert strategy_accuracy(a, SPACE, p) == pytest.approx(
+            arch_accuracy(a, SPACE) - plan_accuracy_penalty(p))
+
+
+class TestAccuracyPredictor:
+    def test_fit_reaches_low_mae(self):
+        pred, mae = fit_predictor(SPACE, n_samples=400, epochs=60, seed=0)
+        assert mae < 0.5  # half a percentage point
+
+    def test_predict_tracks_ordering(self):
+        pred, _ = fit_predictor(SPACE, n_samples=400, epochs=60, seed=0)
+        hi = pred.predict(max_arch(SPACE))
+        lo = pred.predict(min_arch(SPACE))
+        assert hi > lo + 3.0
+
+    def test_predict_batch_matches_single(self):
+        pred, _ = fit_predictor(SPACE, n_samples=200, epochs=20, seed=1)
+        rng = np.random.default_rng(0)
+        archs = [random_arch(SPACE, rng) for _ in range(4)]
+        batch = pred.predict_batch(archs)
+        singles = [pred.predict(a) for a in archs]
+        np.testing.assert_allclose(batch, singles, rtol=1e-9)

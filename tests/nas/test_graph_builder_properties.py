@@ -1,0 +1,102 @@
+"""Cost-graph builder: structural and monotonicity properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nas import (MBV3_SPACE, ArchConfig, build_graph, max_arch,
+                       min_arch, random_arch)
+
+SPACE = MBV3_SPACE
+
+
+def arch_strategy():
+    slots = SPACE.num_stages * SPACE.max_depth
+    return st.builds(
+        ArchConfig,
+        resolution=st.sampled_from(SPACE.resolution_options),
+        depths=st.tuples(*[st.sampled_from(SPACE.depth_options)
+                           for _ in range(SPACE.num_stages)]),
+        kernels=st.tuples(*[st.sampled_from(SPACE.kernel_options)
+                            for _ in range(slots)]),
+        expands=st.tuples(*[st.sampled_from(SPACE.expand_options)
+                            for _ in range(slots)]),
+    )
+
+
+class TestStructure:
+    @given(arch_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_block_count_matches_arch(self, arch):
+        g = build_graph(arch, SPACE)
+        # stem + active blocks + final conv + pool + fc
+        assert len(g) == 1 + arch.num_blocks() + 3
+
+    @given(arch_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_stage_tags_cover_blocks(self, arch):
+        g = build_graph(arch, SPACE)
+        stages = [b.stage for b in g if 1 <= b.stage <= SPACE.num_stages]
+        assert len(stages) == arch.num_blocks()
+
+    @given(arch_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_halo_matches_kernels(self, arch):
+        g = build_graph(arch, SPACE)
+        active = arch.active_slots(SPACE)
+        trunk = [b for b in g if 1 <= b.stage <= SPACE.num_stages]
+        for block, slot in zip(trunk, active):
+            assert block.halo == arch.kernels[slot] // 2
+
+    def test_flops_bracketed_by_extremes(self):
+        rng = np.random.default_rng(0)
+        lo = build_graph(min_arch(SPACE), SPACE).total_flops
+        hi = build_graph(max_arch(SPACE), SPACE).total_flops
+        for _ in range(15):
+            f = build_graph(random_arch(SPACE, rng), SPACE).total_flops
+            assert lo <= f <= hi
+
+
+class TestMonotonicity:
+    def _flops(self, **overrides):
+        base = max_arch(SPACE)
+        arch = ArchConfig(
+            overrides.get("resolution", base.resolution),
+            overrides.get("depths", base.depths),
+            overrides.get("kernels", base.kernels),
+            overrides.get("expands", base.expands))
+        return build_graph(arch, SPACE).total_flops
+
+    def test_resolution_monotone(self):
+        flops = [self._flops(resolution=r)
+                 for r in sorted(SPACE.resolution_options)]
+        assert flops == sorted(flops)
+
+    def test_depth_monotone(self):
+        flops = [self._flops(depths=(d,) * SPACE.num_stages)
+                 for d in sorted(SPACE.depth_options)]
+        assert flops == sorted(flops)
+
+    def test_kernel_monotone(self):
+        slots = SPACE.num_stages * SPACE.max_depth
+        flops = [self._flops(kernels=(k,) * slots)
+                 for k in sorted(SPACE.kernel_options)]
+        assert flops == sorted(flops)
+
+    def test_expand_monotone(self):
+        slots = SPACE.num_stages * SPACE.max_depth
+        flops = [self._flops(expands=(e,) * slots)
+                 for e in sorted(SPACE.expand_options)]
+        assert flops == sorted(flops)
+
+    def test_accuracy_and_flops_correlate(self):
+        """Across random submodels, higher accuracy should broadly cost
+        more compute (the trade-off the whole system navigates)."""
+        from repro.nas import arch_accuracy
+        rng = np.random.default_rng(1)
+        archs = [random_arch(SPACE, rng) for _ in range(40)]
+        acc = np.array([arch_accuracy(a, SPACE) for a in archs])
+        flops = np.array([build_graph(a, SPACE).total_flops for a in archs])
+        corr = np.corrcoef(acc, flops)[0, 1]
+        assert corr > 0.5

@@ -1,0 +1,189 @@
+"""The executable elastic supernet: weight sharing, elasticity,
+alignment with the cost graph, and trainability."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nas import (SyntheticImageDataset, Supernet, build_graph,
+                       max_arch, min_arch, random_arch, tiny_space)
+from tests.conftest import numeric_grad
+
+
+SPACE = tiny_space()
+
+
+@pytest.fixture(scope="module")
+def net():
+    return Supernet(SPACE, seed=3)
+
+
+@pytest.fixture
+def batch(rng):
+    return rng.normal(size=(4, 3, 32, 32))
+
+
+class TestForward:
+    def test_max_arch_shapes(self, net, batch):
+        out = net.forward_arch(batch, max_arch(SPACE))
+        assert out.shape == (4, SPACE.num_classes)
+
+    def test_min_arch_shapes(self, net, batch):
+        out = net.forward_arch(batch, min_arch(SPACE))
+        assert out.shape == (4, SPACE.num_classes)
+
+    def test_min_resolution(self, net, rng):
+        a = min_arch(SPACE)
+        x = rng.normal(size=(2, 3, a.resolution, a.resolution))
+        assert net.forward_arch(x, a).shape == (2, SPACE.num_classes)
+
+    def test_deterministic_in_eval(self, net, batch):
+        net.eval()
+        a = max_arch(SPACE)
+        o1 = net.forward_arch(batch, a)
+        o2 = net.forward_arch(batch, a)
+        np.testing.assert_allclose(o1, o2)
+        net.train()
+
+    def test_different_archs_different_outputs(self, net, batch):
+        net.eval()
+        o_max = net.forward_arch(batch, max_arch(SPACE))
+        # min arch at the same resolution
+        mn = min_arch(SPACE)
+        from repro.nas import ArchConfig
+        mn32 = ArchConfig(32, mn.depths, mn.kernels, mn.expands)
+        o_min = net.forward_arch(batch, mn32)
+        assert not np.allclose(o_max, o_min)
+        net.train()
+
+
+class TestUnitAlignment:
+    @pytest.mark.parametrize("which", ["max", "min", "random"])
+    def test_active_units_match_graph_blocks(self, net, which, rng):
+        a = {"max": max_arch(SPACE), "min": min_arch(SPACE),
+             "random": random_arch(SPACE, rng)}[which]
+        graph = build_graph(a, SPACE)
+        units = net.active_units(a)
+        assert len(units) == len(graph)
+
+    def test_run_units_composes(self, net, rng):
+        """Running unit slices sequentially == full forward."""
+        net.eval()
+        a = max_arch(SPACE)
+        x = rng.normal(size=(1, 3, 32, 32))
+        full = net.forward_arch(x, a)
+        units = net.active_units(a)
+        mid = len(units) // 2
+        h = net.run_units(x, a, units[:mid])
+        out = net.run_units(h, a, units[mid:])
+        np.testing.assert_allclose(out, full, atol=1e-10)
+        net.train()
+
+
+class TestWeightSharing:
+    def test_small_kernel_is_center_crop(self, net):
+        """Perturbing the center of the 5x5 depthwise kernel changes the
+        k=3 submodel; perturbing the border does not."""
+        from repro.nas import ArchConfig
+        net.eval()
+        mx = max_arch(SPACE)
+        a3 = ArchConfig(mx.resolution, mx.depths,
+                        (3,) * len(mx.kernels), mx.expands)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(1, 3, 32, 32))
+        base = net.forward_arch(x, a3)
+        dw = net.units[1].mbconv.dw  # first stage block's depthwise conv
+        # border element (outside the 3x3 center crop of 5x5)
+        dw.weight.data[0, 0, 0, 0] += 100.0
+        out_border = net.forward_arch(x, a3)
+        dw.weight.data[0, 0, 0, 0] -= 100.0
+        np.testing.assert_allclose(out_border, base)
+        # center element is shared
+        dw.weight.data[0, 0, 2, 2] += 1.0
+        out_center = net.forward_arch(x, a3)
+        dw.weight.data[0, 0, 2, 2] -= 1.0
+        assert not np.allclose(out_center, base)
+        net.train()
+
+    def test_elastic_width_prefix_shared(self, net):
+        """The e=2 submodel uses the first channels of the e=3 weights."""
+        from repro.nas import ArchConfig
+        net.eval()
+        mx = max_arch(SPACE)
+        a_small = ArchConfig(mx.resolution, mx.depths, mx.kernels,
+                             (2,) * len(mx.expands))
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 3, 32, 32))
+        base = net.forward_arch(x, a_small)
+        exp = net.units[1].mbconv.expand
+        # channel beyond the active prefix (in_ch*2 ... in_ch*3)
+        hi = exp.max_out - 1
+        exp.weight.data[hi] += 100.0
+        np.testing.assert_allclose(net.forward_arch(x, a_small), base)
+        exp.weight.data[hi] -= 100.0
+        net.train()
+
+
+class TestBackward:
+    def test_gradients_flow_to_active_params_only(self, net, rng):
+        a = min_arch(SPACE)
+        x = rng.normal(size=(2, 3, a.resolution, a.resolution))
+        y = np.array([0, 1])
+        net.zero_grad()
+        logits = net.forward_arch(x, a)
+        loss, cache = F.cross_entropy(logits, y)
+        net.backward(F.cross_entropy_backward(cache))
+        # stem always active
+        stem = net.units[0]
+        assert float(np.abs(stem.conv.weight.grad).sum()) > 0
+        # depth slots beyond min depth are inactive -> zero grads
+        inactive_unit = net.units[1 + SPACE.min_depth]  # stage0, block min_depth
+        assert float(np.abs(
+            inactive_unit.mbconv.expand.weight.grad).sum()) == 0.0
+
+    def test_numeric_gradient_elastic_conv(self, rng):
+        from repro.nas.supernet import ElasticConv2d
+        conv = ElasticConv2d(4, 6, 3, rng=np.random.default_rng(2))
+        x = rng.normal(size=(1, 2, 5, 5))
+
+        def loss():
+            return float((conv.forward_active(x, 2, 3) ** 2).sum())
+
+        out = conv.forward_active(x, 2, 3)
+        conv.zero_grad()
+        conv.backward(2 * out)
+        num = numeric_grad(loss, conv.weight.data)
+        np.testing.assert_allclose(conv.weight.grad, num, atol=1e-5)
+
+    def test_numeric_gradient_elastic_dw(self, rng):
+        from repro.nas.supernet import ElasticDepthwiseConv2d
+        dw = ElasticDepthwiseConv2d(4, 5, rng=np.random.default_rng(3))
+        x = rng.normal(size=(1, 3, 6, 6))
+
+        def loss():
+            return float((dw.forward_active(x, 3, 3) ** 2).sum())
+
+        out = dw.forward_active(x, 3, 3)
+        dw.zero_grad()
+        dw.backward(2 * out)
+        num = numeric_grad(loss, dw.weight.data)
+        np.testing.assert_allclose(dw.weight.grad, num, atol=1e-5)
+
+    def test_training_step_reduces_loss(self, rng):
+        """A few SGD steps on one batch must reduce the loss."""
+        from repro.nn import SGD
+        net = Supernet(SPACE, seed=11)
+        ds = SyntheticImageDataset(resolution=32, train_size=32, val_size=16,
+                                   seed=1)
+        x, y = ds.x_train[:16], ds.y_train[:16]
+        opt = SGD(net.parameters(), lr=0.05)
+        a = max_arch(SPACE)
+        losses = []
+        for _ in range(8):
+            logits = net.forward_arch(x, a)
+            loss, cache = F.cross_entropy(logits, y)
+            losses.append(loss)
+            opt.zero_grad()
+            net.backward(F.cross_entropy_backward(cache))
+            opt.step()
+        assert losses[-1] < losses[0]

@@ -1,0 +1,45 @@
+"""Links: transfer-time arithmetic and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import LOOPBACK, Link
+
+
+class TestLink:
+    def test_transfer_time_components(self):
+        link = Link(bandwidth_mbps=100, delay_ms=10, rpc_overhead_ms=1)
+        # 1 MB over 100 Mbps = 80 ms wire + 11 ms fixed
+        t = link.transfer_time(1_000_000)
+        assert t == pytest.approx(0.011 + 0.08)
+
+    def test_zero_bytes_still_pays_delay(self):
+        link = Link(bandwidth_mbps=100, delay_ms=10)
+        assert link.transfer_time(0) == pytest.approx(0.011)
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_mbps=0, delay_ms=1)
+
+    def test_invalid_delay(self):
+        with pytest.raises(ValueError):
+            Link(bandwidth_mbps=10, delay_ms=-1)
+
+    def test_with_conditions(self):
+        link = Link(100, 10)
+        l2 = link.with_conditions(bandwidth_mbps=50)
+        assert l2.bandwidth_mbps == 50 and l2.delay_ms == 10
+        l3 = link.with_conditions(delay_ms=5)
+        assert l3.bandwidth_mbps == 100 and l3.delay_ms == 5
+
+    def test_loopback_free(self):
+        assert LOOPBACK.transfer_time(10 ** 9) < 1e-2
+
+    @given(st.floats(1, 1000), st.floats(0, 200), st.integers(0, 10 ** 8))
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_bytes_and_bandwidth(self, bw, delay, nbytes):
+        link = Link(bw, delay)
+        assert link.transfer_time(nbytes + 1000) >= link.transfer_time(nbytes)
+        faster = Link(bw * 2, delay)
+        assert faster.transfer_time(nbytes) <= link.transfer_time(nbytes)

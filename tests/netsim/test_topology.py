@@ -1,0 +1,69 @@
+"""Cluster topology and NetworkCondition."""
+
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.netsim import Cluster, NetworkCondition
+
+
+class TestNetworkCondition:
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            NetworkCondition((1.0, 2.0), (3.0,))
+
+    def test_uniform(self):
+        c = NetworkCondition.uniform(3, 100.0, 5.0)
+        assert c.num_remote == 3
+        assert c.bandwidths_mbps == (100.0,) * 3
+
+    def test_as_vector(self):
+        c = NetworkCondition((1.0, 2.0), (3.0, 4.0))
+        assert c.as_vector() == [1.0, 2.0, 3.0, 4.0]
+
+
+class TestCluster:
+    def test_dimension_check(self):
+        with pytest.raises(ValueError):
+            Cluster([rpi4(), rpi4()], NetworkCondition((1.0, 2.0), (1.0, 2.0)))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([], NetworkCondition((), ()))
+
+    def test_local_loopback_free(self):
+        cl = Cluster([rpi4(), rpi4()], NetworkCondition((100.0,), (10.0,)))
+        assert cl.transfer_time(0, 0, 10 ** 7) == 0.0
+
+    def test_local_remote_uses_link(self):
+        cl = Cluster([rpi4(), rpi4()], NetworkCondition((100.0,), (10.0,)))
+        t = cl.transfer_time(0, 1, 1_000_000)
+        assert t == pytest.approx(cl.link_to(1).transfer_time(1_000_000))
+        # symmetric
+        assert cl.transfer_time(1, 0, 1_000_000) == pytest.approx(t)
+
+    def test_remote_remote_relays(self):
+        cond = NetworkCondition((100.0, 50.0), (10.0, 20.0))
+        cl = Cluster([rpi4(), rpi4(), rpi4()], cond)
+        t = cl.transfer_time(1, 2, 1_000_000)
+        # bottleneck bandwidth = 50 Mbps; both delays paid once
+        wire = 1_000_000 * 8.0 / 50e6
+        assert t == pytest.approx(0.010 + 0.020 + 0.001 + wire, rel=0.05)
+
+    def test_set_condition_updates_links(self):
+        cl = Cluster([rpi4(), rpi4()], NetworkCondition((100.0,), (10.0,)))
+        t1 = cl.transfer_time(0, 1, 10 ** 6)
+        cl.set_condition(NetworkCondition((200.0,), (10.0,)))
+        t2 = cl.transfer_time(0, 1, 10 ** 6)
+        assert t2 < t1
+
+    def test_set_condition_dimension_guard(self):
+        cl = Cluster([rpi4(), rpi4()], NetworkCondition((100.0,), (10.0,)))
+        with pytest.raises(ValueError):
+            cl.set_condition(NetworkCondition((1.0, 2.0), (1.0, 2.0)))
+
+    def test_device_accessors(self):
+        cl = Cluster([rpi4(), desktop_gtx1080()],
+                     NetworkCondition((100.0,), (10.0,)))
+        assert cl.local.name == "rpi4"
+        assert cl.device(1).name == "desktop_gtx1080"
+        assert cl.num_devices == 2

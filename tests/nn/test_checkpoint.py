@@ -1,0 +1,82 @@
+"""Checkpoint save/load round trips for networks and policies."""
+
+import numpy as np
+import pytest
+
+from repro.devices import rpi4
+from repro.nas import Supernet, max_arch, tiny_space
+from repro.nn import BatchNorm2d, Linear, Sequential
+from repro.rl import EnvConfig, LSTMPolicy, MurmurationEnv
+from repro.nas import MBV3_SPACE
+from repro.utils import load_module, module_arrays, save_module
+
+
+class TestCheckpoint:
+    def test_roundtrip_simple_module(self, tmp_path, rng):
+        m1 = Sequential(Linear(4, 8), Linear(8, 3))
+        path = str(tmp_path / "m.npz")
+        save_module(m1, path)
+        m2 = Sequential(Linear(4, 8), Linear(8, 3))
+        load_module(m2, path)
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_bn_statistics_preserved(self, tmp_path, rng):
+        m1 = Sequential(BatchNorm2d(3))
+        # accumulate non-trivial running stats
+        for _ in range(5):
+            m1(rng.normal(loc=2.0, size=(8, 3, 4, 4)))
+        path = str(tmp_path / "bn.npz")
+        save_module(m1, path)
+        m2 = Sequential(BatchNorm2d(3))
+        load_module(m2, path)
+        bn1, bn2 = m1[0], m2[0]
+        np.testing.assert_allclose(bn2.running_mean, bn1.running_mean)
+        np.testing.assert_allclose(bn2.running_var, bn1.running_var)
+        m1.eval(), m2.eval()
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_allclose(m1(x), m2(x))
+
+    def test_supernet_roundtrip(self, tmp_path, rng):
+        space = tiny_space()
+        n1 = Supernet(space, seed=0)
+        path = str(tmp_path / "super.npz")
+        save_module(n1, path)
+        n2 = Supernet(space, seed=99)  # different init
+        load_module(n2, path)
+        x = rng.normal(size=(1, 3, 32, 32))
+        n1.eval(), n2.eval()
+        a = max_arch(space)
+        np.testing.assert_allclose(n1.forward_arch(x, a),
+                                   n2.forward_arch(x, a))
+
+    def test_policy_roundtrip(self, tmp_path):
+        env = MurmurationEnv(MBV3_SPACE, [rpi4(), rpi4()], EnvConfig())
+        p1 = LSTMPolicy.for_env(env)
+        path = str(tmp_path / "policy.npz")
+        save_module(p1, path)
+        p2 = LSTMPolicy.for_env(env)
+        load_module(p2, path)
+        task = env.sample_task(np.random.default_rng(0))
+        ctx = env.encode_task(task)
+        np.testing.assert_array_equal(p1.greedy_actions(ctx, env.schedule),
+                                      p2.greedy_actions(ctx, env.schedule))
+
+    def test_module_arrays_includes_stats(self):
+        m = Sequential(BatchNorm2d(3), Linear(3, 2))
+        arrays = module_arrays(m)
+        assert any(k.startswith("__stat") for k in arrays)
+        assert any(not k.startswith("__stat") for k in arrays)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        m = Sequential(Linear(2, 2))
+        with pytest.raises(FileNotFoundError):
+            load_module(m, str(tmp_path / "nope.npz"))
+
+    def test_npz_suffix_optional(self, tmp_path, rng):
+        m1 = Sequential(Linear(2, 2))
+        save_module(m1, str(tmp_path / "m"))
+        m2 = Sequential(Linear(2, 2))
+        load_module(m2, str(tmp_path / "m"))  # resolves m.npz
+        x = rng.normal(size=(1, 2))
+        np.testing.assert_allclose(m1(x), m2(x))

@@ -1,0 +1,129 @@
+"""LSTM cell: shapes, gating behaviour and full-BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn import LSTMCell
+from tests.conftest import numeric_grad
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(5)
+
+
+class TestLSTMForward:
+    def test_zero_state_shape(self):
+        cell = LSTMCell(3, 7)
+        h, c = cell.zero_state(4)
+        assert h.shape == (4, 7) and c.shape == (4, 7)
+        assert (h == 0).all() and (c == 0).all()
+
+    def test_step_shapes(self, rng):
+        cell = LSTMCell(3, 7, rng=rng)
+        h, state = cell.forward_step(rng.normal(size=(2, 3)),
+                                     cell.zero_state(2))
+        assert h.shape == (2, 7)
+        assert state[0] is h
+
+    def test_sequence_forward(self, rng):
+        cell = LSTMCell(3, 5, rng=rng)
+        xs = rng.normal(size=(6, 2, 3))
+        out = cell.forward(xs)
+        assert out.shape == (6, 2, 5)
+
+    def test_hidden_bounded_by_tanh(self, rng):
+        cell = LSTMCell(2, 4, rng=rng)
+        state = cell.zero_state(1)
+        for _ in range(20):
+            h, state = cell.forward_step(rng.normal(size=(1, 2)) * 10, state)
+        assert np.abs(h).max() <= 1.0
+
+    def test_forget_bias_initialized_to_one(self):
+        cell = LSTMCell(2, 4)
+        hs = 4
+        np.testing.assert_allclose(cell.bias.data[hs:2 * hs], 1.0)
+
+    def test_state_carries_information(self, rng):
+        """Different histories must produce different hidden states."""
+        cell = LSTMCell(2, 4, rng=rng)
+        x = rng.normal(size=(1, 2))
+        _, s1 = cell.forward_step(x, cell.zero_state(1), record=False)
+        _, s2 = cell.forward_step(-x, cell.zero_state(1), record=False)
+        h1, _ = cell.forward_step(x, s1, record=False)
+        h2, _ = cell.forward_step(x, s2, record=False)
+        assert not np.allclose(h1, h2)
+
+
+class TestBPTT:
+    def _loss_through_time(self, cell, xs):
+        state = cell.zero_state(xs.shape[1])
+        total = 0.0
+        for t in range(xs.shape[0]):
+            h, state = cell.forward_step(xs[t], state, record=False)
+            total += float((h ** 2).sum())
+        return total
+
+    def test_input_gradients(self, rng):
+        cell = LSTMCell(3, 4, rng=rng)
+        xs = rng.normal(size=(3, 2, 3))
+
+        def loss():
+            return self._loss_through_time(cell, xs)
+
+        cell.reset_tape()
+        state = cell.zero_state(2)
+        grads_h = []
+        for t in range(3):
+            h, state = cell.forward_step(xs[t], state, record=True)
+            grads_h.append(2 * h)
+        gx = cell.backward_through_time(grads_h)
+        num = numeric_grad(loss, xs)
+        for t in range(3):
+            np.testing.assert_allclose(gx[t], num[t], atol=1e-5)
+
+    def test_weight_gradients(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        xs = rng.normal(size=(4, 1, 2))
+
+        def loss():
+            return self._loss_through_time(cell, xs)
+
+        cell.zero_grad()
+        cell.reset_tape()
+        state = cell.zero_state(1)
+        grads_h = []
+        for t in range(4):
+            h, state = cell.forward_step(xs[t], state, record=True)
+            grads_h.append(2 * h)
+        cell.backward_through_time(grads_h)
+        np.testing.assert_allclose(cell.w_ih.grad,
+                                   numeric_grad(loss, cell.w_ih.data),
+                                   atol=1e-5)
+        np.testing.assert_allclose(cell.w_hh.grad,
+                                   numeric_grad(loss, cell.w_hh.data),
+                                   atol=1e-5)
+        np.testing.assert_allclose(cell.bias.grad,
+                                   numeric_grad(loss, cell.bias.data),
+                                   atol=1e-5)
+
+    def test_none_head_gradients_allowed(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        state = cell.zero_state(1)
+        h1, state = cell.forward_step(rng.normal(size=(1, 2)), state)
+        h2, state = cell.forward_step(rng.normal(size=(1, 2)), state)
+        gx = cell.backward_through_time([None, np.ones((1, 3))])
+        assert len(gx) == 2
+        assert np.isfinite(gx[0]).all()
+
+    def test_mismatched_grads_raise(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        cell.forward_step(rng.normal(size=(1, 2)), cell.zero_state(1))
+        with pytest.raises(ValueError, match="head gradients"):
+            cell.backward_through_time([None, None])
+
+    def test_tape_cleared_after_backward(self, rng):
+        cell = LSTMCell(2, 3, rng=rng)
+        cell.forward_step(rng.normal(size=(1, 2)), cell.zero_state(1))
+        cell.backward_through_time([np.ones((1, 3))])
+        assert len(cell._tape) == 0

@@ -1,0 +1,113 @@
+"""Optimizers: convergence on known problems, state handling, clipping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, CosineLR, clip_grad_norm
+from repro.nn.layers import Parameter
+
+
+def quad_problem(start):
+    """min (x - 3)^2 elementwise."""
+    p = Parameter(np.full(4, float(start)))
+
+    def step_grad():
+        p.zero_grad()
+        p.grad += 2 * (p.data - 3.0)
+
+    return p, step_grad
+
+
+class TestSGD:
+    def test_converges(self):
+        p, grad = quad_problem(10.0)
+        opt = SGD([p], lr=0.1, momentum=0.0)
+        for _ in range(200):
+            grad()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-6)
+
+    def test_momentum_accelerates(self):
+        p1, g1 = quad_problem(10.0)
+        p2, g2 = quad_problem(10.0)
+        plain = SGD([p1], lr=0.01, momentum=0.0)
+        mom = SGD([p2], lr=0.01, momentum=0.9)
+        for _ in range(30):
+            g1(); plain.step()
+            g2(); mom.step()
+        assert abs(p2.data[0] - 3.0) < abs(p1.data[0] - 3.0)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(3))
+        opt = SGD([p], lr=0.1, momentum=0.0, weight_decay=1.0)
+        opt.step()  # grad is zero; only decay acts
+        assert (p.data < 1.0).all()
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+
+class TestAdam:
+    def test_converges(self):
+        p, grad = quad_problem(-5.0)
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            grad()
+            opt.step()
+        np.testing.assert_allclose(p.data, 3.0, atol=1e-3)
+
+    def test_bias_correction_first_step(self):
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.1)
+        p.grad += np.array([1.0])
+        opt.step()
+        # With bias correction the first step is ~ -lr regardless of betas.
+        np.testing.assert_allclose(p.data, -0.1, atol=1e-6)
+
+    def test_zero_grad(self):
+        p = Parameter(np.zeros(2))
+        opt = Adam([p], lr=0.1)
+        p.grad += 5.0
+        opt.zero_grad()
+        assert (p.grad == 0).all()
+
+
+class TestClipGradNorm:
+    def test_clips_when_large(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 10.0
+        pre = clip_grad_norm([p], max_norm=1.0)
+        assert pre == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(1.0)
+
+    def test_no_clip_when_small(self):
+        p = Parameter(np.zeros(4))
+        p.grad += 0.01
+        clip_grad_norm([p], max_norm=1.0)
+        np.testing.assert_allclose(p.grad, 0.01)
+
+
+class TestCosineLR:
+    def test_decays_to_min(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=100, min_lr=0.1)
+        for _ in range(100):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1, abs=1e-6)
+
+    def test_warmup_ramps(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=20, warmup_steps=10)
+        lrs = [sched.step() for _ in range(10)]
+        assert lrs == sorted(lrs)
+        assert lrs[-1] == pytest.approx(1.0)
+
+    def test_monotone_after_warmup(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=50)
+        lrs = [sched.step() for _ in range(50)]
+        assert all(a >= b - 1e-12 for a, b in zip(lrs, lrs[1:]))

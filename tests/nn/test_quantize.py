@@ -1,0 +1,91 @@
+"""Feature-map quantization: error bounds, wire sizing, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.nn import (SUPPORTED_BITS, dequantize, fake_quantize, quantize,
+                      wire_bytes)
+
+
+class TestQuantizeBasics:
+    def test_passthrough_32(self):
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        qt = quantize(x, 32)
+        np.testing.assert_allclose(dequantize(qt), x, atol=1e-6)
+
+    def test_unsupported_bits(self):
+        with pytest.raises(ValueError, match="unsupported bitwidth"):
+            quantize(np.ones(3), 4)
+
+    @pytest.mark.parametrize("bits,rel", [(8, 1 / 120.0), (16, 1 / 30000.0)])
+    def test_error_bound(self, bits, rel):
+        x = np.random.default_rng(1).normal(size=1000)
+        err = np.abs(dequantize(quantize(x, bits)) - x).max()
+        assert err <= np.abs(x).max() * rel
+
+    def test_zero_tensor(self):
+        qt = quantize(np.zeros((2, 2)), 8)
+        np.testing.assert_allclose(dequantize(qt), 0.0)
+
+    def test_dtype_narrowing(self):
+        x = np.random.default_rng(2).normal(size=10)
+        assert quantize(x, 8).data.dtype == np.int8
+        assert quantize(x, 16).data.dtype == np.int16
+
+    def test_nbytes_accounts_header(self):
+        qt = quantize(np.ones(100), 8)
+        assert qt.nbytes == 32 + 100
+
+    def test_fake_quantize_idempotent_ish(self):
+        x = np.random.default_rng(3).normal(size=50)
+        y = fake_quantize(x, 8)
+        z = fake_quantize(y, 8)
+        np.testing.assert_allclose(y, z, atol=1e-9)
+
+
+class TestWireBytes:
+    @pytest.mark.parametrize("bits,expect", [(8, 32 + 10), (16, 32 + 20),
+                                             (32, 32 + 40)])
+    def test_sizes(self, bits, expect):
+        assert wire_bytes(10, bits) == expect
+
+    def test_monotone_in_elements(self):
+        assert wire_bytes(100, 8) < wire_bytes(200, 8)
+
+    def test_8bit_quarter_of_32(self):
+        big = 10_000
+        assert wire_bytes(big, 8) - 32 == (wire_bytes(big, 32) - 32) // 4
+
+
+class TestQuantizeProperties:
+    @given(arrays(np.float64, st.integers(1, 64),
+                  elements=st.floats(-1e6, 1e6)),
+           st.sampled_from([8, 16]))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_bounded(self, x, bits):
+        qt = quantize(x, bits)
+        back = dequantize(qt)
+        amax = np.abs(x).max()
+        if amax > 0:
+            # max error is half a quantization step
+            step = amax / (2 ** (bits - 1) - 1)
+            assert np.abs(back - x).max() <= step * 0.5 + 1e-12
+
+    @given(arrays(np.float64, st.integers(1, 32),
+                  elements=st.floats(-100, 100)))
+    @settings(max_examples=50, deadline=None)
+    def test_sign_preserved(self, x):
+        back = dequantize(quantize(x, 8))
+        # signs may only flip through rounding to zero
+        assert ((np.sign(back) == np.sign(x)) | (back == 0)).all()
+
+    @given(st.integers(0, 10 ** 9), st.sampled_from(SUPPORTED_BITS))
+    @settings(max_examples=50, deadline=None)
+    def test_wire_bytes_positive_and_ordered(self, n, bits):
+        b = wire_bytes(n, bits)
+        assert b >= 32
+        if bits < 32:
+            assert b <= wire_bytes(n, 32)

@@ -1,0 +1,83 @@
+"""Plan refinement by coordinate descent."""
+
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.models import get_model
+from repro.netsim import Cluster, NetworkCondition
+from repro.partition import (Grid, layerwise_split_plan, refine_plan,
+                             simulate_latency, single_device_plan,
+                             spatial_plan)
+from repro.partition.optimize import block_candidates
+
+
+@pytest.fixture(scope="module")
+def augmented():
+    return Cluster([rpi4(), desktop_gtx1080()],
+                   NetworkCondition((300.0,), (10.0,)))
+
+
+@pytest.fixture(scope="module")
+def swarm():
+    return Cluster([rpi4() for _ in range(5)],
+                   NetworkCondition((500.0,) * 4, (5.0,) * 4))
+
+
+class TestBlockCandidates:
+    def test_fused_blocks_stay_unpartitioned(self):
+        g = get_model("mobilenet_v3_large")
+        head = g.blocks[-1]
+        cands = block_candidates(head, num_devices=5)
+        assert all(c.grid.ntiles == 1 for c in cands)
+
+    def test_trunk_blocks_offer_grids(self):
+        g = get_model("mobilenet_v3_large")
+        cands = block_candidates(g.blocks[3], num_devices=5)
+        assert any(c.grid == Grid(2, 2) for c in cands)
+        assert any(c.bits == 8 for c in cands)
+
+
+class TestRefinePlan:
+    def test_never_worse(self, augmented):
+        g = get_model("resnet50")
+        for start in (single_device_plan(g),
+                      layerwise_split_plan(g, len(g) // 2)):
+            base = simulate_latency(g, start, augmented).total_s
+            refined, value = refine_plan(g, start, augmented, max_passes=1)
+            assert value <= base + 1e-12
+            refined.validate_for(g, augmented.num_devices)
+
+    def test_improves_bad_starting_point(self, augmented):
+        """From all-local on the Pi, refinement must discover the GPU."""
+        g = get_model("resnet50")
+        start = single_device_plan(g, 0)
+        base = simulate_latency(g, start, augmented).total_s
+        refined, value = refine_plan(g, start, augmented)
+        assert value < base / 3
+        assert 1 in refined.devices_used()
+
+    def test_matches_simulator(self, swarm):
+        g = get_model("mobilenet_v3_large")
+        refined, value = refine_plan(
+            g, spatial_plan(g, Grid(2, 2), [1, 2, 3, 4]), swarm,
+            max_passes=1)
+        assert value == pytest.approx(
+            simulate_latency(g, refined, swarm).total_s)
+
+    def test_custom_objective(self, swarm):
+        """An energy-weighted objective pulls toward fewer devices."""
+        from repro.devices import energy_of_report
+        from repro.partition import simulate_latency as sim
+
+        g = get_model("mobilenet_v3_large")
+
+        def energy_obj(plan):
+            rep = sim(g, plan, swarm)
+            return energy_of_report(rep, swarm.devices).total_j
+
+        start = spatial_plan(g, Grid(2, 2), [1, 2, 3, 4])
+        base = energy_obj(start)
+        refined, value = refine_plan(g, start, swarm, max_passes=1,
+                                     objective=energy_obj)
+        assert value <= base + 1e-12
+        assert len(refined.devices_used()) <= len(start.devices_used())

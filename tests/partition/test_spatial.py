@@ -1,0 +1,107 @@
+"""FDSP spatial tiling: split/merge round trips and overhead properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (GRIDS, Grid, fdsp_compute_overhead, merge_tiles,
+                             split_tiles, tile_shape)
+
+
+class TestGrid:
+    def test_ntiles(self):
+        assert Grid(2, 3).ntiles == 6
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Grid(0, 1)
+
+    def test_search_space_grids(self):
+        assert [str(g) for g in GRIDS] == ["1x1", "1x2", "2x2"]
+
+
+class TestTileShape:
+    def test_even_split(self):
+        assert tile_shape(8, 8, Grid(2, 2), 0, 0) == (4, 4)
+
+    def test_remainder_to_last(self):
+        assert tile_shape(9, 9, Grid(2, 2), 0, 0) == (4, 4)
+        assert tile_shape(9, 9, Grid(2, 2), 1, 1) == (5, 5)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            tile_shape(8, 8, Grid(2, 2), 2, 0)
+
+
+class TestSplitMerge:
+    @pytest.mark.parametrize("grid", [Grid(1, 1), Grid(1, 2), Grid(2, 2),
+                                      Grid(2, 3)])
+    def test_roundtrip_halo0(self, grid):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 12, 12))
+        tiles = split_tiles(x, grid, halo=0)
+        assert len(tiles) == grid.ntiles
+        back = merge_tiles(tiles, grid, (12, 12), halo=0)
+        np.testing.assert_allclose(back, x)
+
+    def test_roundtrip_halo1(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(1, 2, 8, 8))
+        grid = Grid(2, 2)
+        tiles = split_tiles(x, grid, halo=1)
+        # halo-padded tiles are larger on cut edges
+        assert tiles[0].shape == (1, 2, 5, 5)
+        back = merge_tiles(tiles, grid, (8, 8), halo=1)
+        np.testing.assert_allclose(back, x)
+
+    def test_halo_is_zero_padding(self):
+        x = np.ones((1, 1, 4, 4))
+        tiles = split_tiles(x, Grid(1, 2), halo=1)
+        # right tile's left column is the zero halo
+        assert (tiles[1][:, :, :, 0] == 0).all()
+        assert (tiles[1][:, :, :, 1:] == 1).all()
+
+    def test_merge_wrong_count(self):
+        with pytest.raises(ValueError):
+            merge_tiles([np.zeros((1, 1, 2, 2))], Grid(1, 2), (2, 4))
+
+    @given(st.sampled_from([(1, 2), (2, 1), (2, 2)]),
+           st.integers(2, 5).map(lambda k: 2 * k))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, rc, size):
+        grid = Grid(*rc)
+        rng = np.random.default_rng(size)
+        x = rng.normal(size=(1, 2, size, size))
+        back = merge_tiles(split_tiles(x, grid, halo=0), grid, (size, size),
+                           halo=0)
+        np.testing.assert_allclose(back, x)
+
+
+class TestFdspOverhead:
+    def test_unpartitioned_no_overhead(self):
+        assert fdsp_compute_overhead((14, 14), Grid(1, 1)) == 1.0
+
+    def test_overhead_above_one(self):
+        assert fdsp_compute_overhead((14, 14), Grid(2, 2)) > 1.0
+
+    def test_smaller_fmap_more_overhead(self):
+        small = fdsp_compute_overhead((7, 7), Grid(2, 2))
+        large = fdsp_compute_overhead((56, 56), Grid(2, 2))
+        assert small > large
+
+    def test_larger_halo_more_overhead(self):
+        h1 = fdsp_compute_overhead((14, 14), Grid(2, 2), halo=1)
+        h3 = fdsp_compute_overhead((14, 14), Grid(2, 2), halo=3)
+        assert h3 > h1
+
+    @given(st.integers(4, 64), st.sampled_from([(1, 2), (2, 2), (3, 3)]),
+           st.integers(1, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_property(self, hw, rc, halo):
+        f = fdsp_compute_overhead((hw, hw), Grid(*rc), halo=halo)
+        assert 1.0 <= f
+        # overhead never exceeds the fully-padded worst case
+        th = max(1, hw // rc[0])
+        tw = max(1, hw // rc[1])
+        assert f <= ((th + 2 * halo) * (tw + 2 * halo)) / (th * tw) + 1e-12

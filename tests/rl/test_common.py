@@ -1,0 +1,90 @@
+"""Shared RL utilities: bootstrap seeds, the satisfiability oracle,
+policy evaluation and the supervised update."""
+
+import numpy as np
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.nn.optim import Adam
+from repro.rl import (EnvConfig, LSTMPolicy, MurmurationEnv, PolicyConfig,
+                      Task, bootstrap_actions, evaluate_policy, satisfiable,
+                      satisfiable_mask, supervised_update)
+from repro.netsim import NetworkCondition
+
+
+@pytest.fixture(scope="module")
+def env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                          EnvConfig(slo_kind="latency"))
+
+
+class TestBootstrap:
+    def test_four_seeds_for_two_devices(self, env):
+        seeds = bootstrap_actions(env)
+        assert len(seeds) == 4
+        for s in seeds:
+            assert s.shape == (env.episode_length,)
+
+    def test_single_device_env_two_seeds(self):
+        env1 = MurmurationEnv(MBV3_SPACE, [rpi4()], EnvConfig())
+        assert len(bootstrap_actions(env1)) == 2
+
+    def test_seeds_decode_to_extremes(self, env):
+        seeds = bootstrap_actions(env)
+        archs = [env.decode(s)[0] for s in seeds]
+        flops = sorted({a.num_blocks() for a in archs})
+        assert flops[0] == 10 and flops[-1] == 20  # min and max depth
+
+
+class TestSatisfiable:
+    def test_trivial_slo_satisfiable(self, env):
+        task = Task(10.0, NetworkCondition((100.0,), (10.0,)))
+        assert satisfiable(env, task)
+
+    def test_impossible_slo_not_satisfiable(self, env):
+        task = Task(1e-5, NetworkCondition((100.0,), (10.0,)))
+        assert not satisfiable(env, task)
+
+    def test_mask_shape(self, env):
+        tasks = [env.sample_task(np.random.default_rng(i)) for i in range(5)]
+        mask = satisfiable_mask(env, tasks)
+        assert mask.shape == (5,) and mask.dtype == bool
+
+
+class TestEvaluatePolicy:
+    def test_result_fields(self, env):
+        policy = LSTMPolicy.for_env(env, PolicyConfig(hidden_size=16))
+        tasks = env.validation_tasks(points=2)
+        mask = satisfiable_mask(env, tasks)
+        res = evaluate_policy(policy, env, tasks, mask)
+        assert res.n_tasks == len(tasks)
+        assert 0.0 <= res.compliance <= 1.0
+        assert res.raw_compliance <= res.compliance + 1e-9
+
+    def test_compliance_normalization(self, env):
+        """raw compliance counts all tasks; normalized only satisfiable."""
+        policy = LSTMPolicy.for_env(env, PolicyConfig(hidden_size=16))
+        tasks = [Task(1e-5, NetworkCondition((100.0,), (10.0,))),  # impossible
+                 Task(10.0, NetworkCondition((100.0,), (10.0,)))]
+        mask = satisfiable_mask(env, tasks)
+        assert list(mask) == [False, True]
+        res = evaluate_policy(policy, env, tasks, mask)
+        assert res.n_satisfiable == 1
+
+
+class TestSupervisedUpdate:
+    def test_drives_policy_toward_targets(self, env):
+        """Repeated imitation of one trajectory makes it the greedy one."""
+        policy = LSTMPolicy.for_env(env, PolicyConfig(hidden_size=32, seed=3))
+        opt = Adam(policy.parameters(), lr=3e-3)
+        target = bootstrap_actions(env)[1]
+        task = env.sample_task(np.random.default_rng(0))
+        ctx = env.encode_task(task)[None, :].repeat(8, axis=0)
+        actions = np.tile(target, (8, 1))
+        losses = [supervised_update(policy, opt, env, ctx, actions)
+                  for _ in range(30)]
+        assert losses[-1] < losses[0] / 2
+        greedy = policy.greedy_actions(env.encode_task(task), env.schedule)
+        agreement = (greedy == target).mean()
+        assert agreement > 0.9

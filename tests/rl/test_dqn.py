@@ -1,0 +1,52 @@
+"""DQN baseline: TD mechanics and the sparse-reward failure mode."""
+
+import numpy as np
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.rl import (DQNConfig, DQNTrainer, EnvConfig, MurmurationEnv,
+                      satisfiable_mask)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                          EnvConfig(slo_kind="latency"))
+
+
+class TestDQN:
+    def test_smoke(self, env):
+        tasks = env.validation_tasks(points=2)
+        mask = satisfiable_mask(env, tasks)
+        tr = DQNTrainer(env, DQNConfig(total_steps=96, rollout_batch=16,
+                                       eval_every=48, seed=0))
+        hist = tr.train(tasks, mask)
+        assert len(hist.steps) >= 1
+        assert all(np.isfinite(hist.losses))
+        assert len(tr.buffer) > 0
+
+    def test_epsilon_schedule(self, env):
+        tr = DQNTrainer(env, DQNConfig(epsilon_start=1.0, epsilon_end=0.2,
+                                       epsilon_decay_steps=100))
+        assert tr._epsilon() == pytest.approx(1.0)
+        tr._collected = 100
+        assert tr._epsilon() == pytest.approx(0.2)
+
+    def test_target_sync_copies_weights(self, env):
+        tr = DQNTrainer(env, DQNConfig(seed=1))
+        tr.q.cell.w_ih.data += 1.0
+        assert not np.allclose(tr.q.cell.w_ih.data, tr.target.cell.w_ih.data)
+        tr._sync_target()
+        np.testing.assert_allclose(tr.q.cell.w_ih.data,
+                                   tr.target.cell.w_ih.data)
+
+    def test_td_loss_decreases_on_fixed_buffer(self, env):
+        """With a frozen buffer and target, TD regression must fit."""
+        rng = np.random.default_rng(0)
+        tr = DQNTrainer(env, DQNConfig(train_batch=8, seed=2))
+        # fill buffer with a handful of episodes
+        for _ in range(2):
+            tr._collect()
+        losses = [tr._td_update() for _ in range(25)]
+        assert losses[-1] < losses[0]

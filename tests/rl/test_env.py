@@ -1,0 +1,171 @@
+"""Environment: schedule, decode, rewards, curriculum, relabeling."""
+
+import numpy as np
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.rl import (ACTION_TYPES, EnvConfig, MurmurationEnv, Task,
+                      bootstrap_actions, build_schedule)
+from repro.netsim import NetworkCondition
+
+
+@pytest.fixture(scope="module")
+def env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                          EnvConfig(slo_kind="latency"))
+
+
+@pytest.fixture(scope="module")
+def swarm_env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4()] * 5,
+                          EnvConfig(slo_kind="latency"))
+
+
+class TestSchedule:
+    def test_structure(self, env):
+        sched = env.schedule
+        kinds = [s.kind for s in sched]
+        assert kinds[0] == "resolution"
+        assert kinds[-1] == "head_device"
+        assert kinds.count("depth") == MBV3_SPACE.num_stages
+        assert kinds.count("device") == MBV3_SPACE.num_stages * 4
+
+    def test_unknown_kind_rejected(self):
+        from repro.rl.spaces import ActionStep
+        with pytest.raises(ValueError):
+            ActionStep("banana", 3)
+
+    def test_kind_ids_match_action_types(self, env):
+        for s in env.schedule:
+            assert ACTION_TYPES[s.kind_id] == s.kind
+
+    def test_episode_length(self, env):
+        # 1 resolution + 5*(5 settings + 4 devices) + 1 head device
+        assert env.episode_length == 1 + 5 * 9 + 1
+
+
+class TestDecode:
+    def test_bootstrap_min_local(self, env):
+        actions = bootstrap_actions(env)[0]
+        arch, plan = env.decode(actions)
+        assert arch.resolution == min(MBV3_SPACE.resolution_options)
+        assert all(d == 2 for d in arch.depths)
+        assert plan.devices_used() == (0,)
+
+    def test_bootstrap_max_remote(self, env):
+        actions = bootstrap_actions(env)[2]
+        arch, plan = env.decode(actions)
+        assert arch.resolution == max(MBV3_SPACE.resolution_options)
+        # trunk runs on device 1, output returns to 0
+        assert 1 in plan.devices_used()
+
+    def test_wrong_length_rejected(self, env):
+        with pytest.raises(ValueError):
+            env.decode([0, 1])
+
+    def test_out_of_range_action_rejected(self, env):
+        actions = bootstrap_actions(env)[0].copy()
+        actions[0] = 99
+        with pytest.raises(ValueError):
+            env.decode(actions)
+
+    def test_decode_random_rollouts_always_valid(self, env):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            actions = [int(rng.integers(s.n_choices)) for s in env.schedule]
+            arch, plan = env.decode(actions)
+            arch.validate(MBV3_SPACE)
+            plan.validate_for(env._graph(arch), env.num_devices)
+
+
+class TestReward:
+    def test_latency_slo_eq2(self, env):
+        r_ok, ok = env.reward(latency_s=0.1, accuracy=78.0, slo=0.2)
+        assert ok and r_ok > 0
+        r_miss, miss = env.reward(latency_s=0.3, accuracy=78.0, slo=0.2)
+        assert not miss and r_miss == 0.0
+
+    def test_latency_slo_rewards_accuracy(self, env):
+        hi, _ = env.reward(0.1, 78.0, 0.2)
+        lo, _ = env.reward(0.1, 72.0, 0.2)
+        assert hi > lo
+
+    def test_accuracy_slo_eq3(self):
+        env = MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                             EnvConfig(slo_kind="accuracy"))
+        fast, ok = env.reward(latency_s=0.05, accuracy=76.0, slo=75.0)
+        slow, _ = env.reward(latency_s=0.5, accuracy=76.0, slo=75.0)
+        assert ok and fast > slow
+        miss, sat = env.reward(latency_s=0.05, accuracy=74.0, slo=75.0)
+        assert not sat and miss == 0.0
+
+    def test_invalid_slo_kind(self):
+        with pytest.raises(ValueError):
+            EnvConfig(slo_kind="throughput")
+
+
+class TestEvaluate:
+    def test_outcome_fields(self, env):
+        task = Task(0.3, NetworkCondition((200.0,), (20.0,)))
+        actions = bootstrap_actions(env)[0]
+        out = env.evaluate_actions(actions, task)
+        assert out.latency_s > 0
+        assert 68.0 < out.accuracy < 80.0
+        assert out.satisfied == (out.latency_s <= 0.3)
+
+    def test_better_network_not_slower(self, env):
+        actions = bootstrap_actions(env)[2]  # max on remote
+        slow = env.evaluate_actions(actions, Task(
+            1.0, NetworkCondition((50.0,), (100.0,))))
+        fast = env.evaluate_actions(actions, Task(
+            1.0, NetworkCondition((400.0,), (5.0,))))
+        assert fast.latency_s <= slow.latency_s
+
+
+class TestTasks:
+    def test_context_vector_dim(self, env):
+        task = env.sample_task(np.random.default_rng(0))
+        assert env.encode_task(task).shape == (env.context_dim,)
+
+    def test_curriculum_freezes_inactive_dims(self, swarm_env):
+        rng = np.random.default_rng(1)
+        tasks = [swarm_env.sample_task(rng, active_dims=2)
+                 for _ in range(20)]
+        # dims beyond (slo, bw1): delay1 and all later stay at easiest
+        for t in tasks:
+            assert t.condition.delays_ms[0] == swarm_env.cfg.delay_range[0]
+            assert t.condition.bandwidths_mbps[1] == swarm_env.cfg.bw_range[1]
+        # slo and bw1 actually vary
+        assert len({t.slo for t in tasks}) > 1
+        assert len({t.condition.bandwidths_mbps[0] for t in tasks}) > 1
+
+    def test_validation_tasks_grid(self, env):
+        tasks = env.validation_tasks(points=3)
+        assert len(tasks) == 27  # 3 slo x 3 bw x 3 delay
+
+    def test_validation_tasks_multi_remote(self, swarm_env):
+        tasks = swarm_env.validation_tasks(points=3)
+        assert len(tasks) == 27
+        assert all(t.condition.num_remote == 4 for t in tasks)
+
+
+class TestRelabeling:
+    def test_constraint_values_roundtrip(self, swarm_env):
+        task = swarm_env.sample_task(np.random.default_rng(2))
+        values = swarm_env.constraint_values(task)
+        back = swarm_env.task_from_values(values)
+        assert back == task
+
+    def test_achieved_values_use_outcome(self, env):
+        task = Task(0.3, NetworkCondition((100.0,), (10.0,)))
+        out = env.evaluate_actions(bootstrap_actions(env)[0], task)
+        vals = env.achieved_values(out, task)
+        assert vals[0] == pytest.approx(out.latency_s)
+        assert vals[1] == 100.0 and vals[2] == 10.0
+
+    def test_relabeled_reward_positive(self, env):
+        task = Task(0.001, NetworkCondition((100.0,), (10.0,)))  # impossible
+        out = env.evaluate_actions(bootstrap_actions(env)[0], task)
+        assert out.reward == 0.0  # missed the real goal
+        assert env.relabeled_reward(out) > 0.0  # but achieves its own

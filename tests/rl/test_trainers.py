@@ -1,0 +1,149 @@
+"""Trainer behaviour: GCSL / PPO / SUPREME smoke runs, mutation
+operators, and the training-curve ordering the paper reports."""
+
+import numpy as np
+import pytest
+
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.rl import (EnvConfig, GCSLConfig, GCSLTrainer, MurmurationEnv,
+                      PPOConfig, PPOTrainer, SupremeConfig, SupremeTrainer,
+                      murmuration_basic_config, satisfiable_mask)
+from repro.rl.supreme.mutation import (improve_locality, mutate_actions,
+                                       suboptimal_buckets)
+
+
+@pytest.fixture(scope="module")
+def env():
+    return MurmurationEnv(MBV3_SPACE, [rpi4(), desktop_gtx1080()],
+                          EnvConfig(slo_kind="latency"))
+
+
+@pytest.fixture(scope="module")
+def eval_setup(env):
+    tasks = env.validation_tasks(points=3)
+    mask = satisfiable_mask(env, tasks)
+    return tasks, mask
+
+
+class TestMutation:
+    def test_mutate_stays_in_ranges(self, env):
+        rng = np.random.default_rng(0)
+        base = np.array([0] * env.episode_length)
+        m = mutate_actions(base, env, rng, rate=1.0)
+        for t, step in enumerate(env.schedule):
+            assert 0 <= m[t] < step.n_choices
+
+    def test_mutate_rate_zero_identity(self, env):
+        rng = np.random.default_rng(1)
+        base = np.array([0] * env.episode_length)
+        np.testing.assert_array_equal(mutate_actions(base, env, rng, 0.0),
+                                      base)
+
+    def test_improve_locality_targets_majority_device(self, env):
+        rng = np.random.default_rng(2)
+        actions = np.zeros(env.episode_length, dtype=np.int64)
+        dev_steps = [t for t, s in enumerate(env.schedule)
+                     if s.kind in ("device", "head_device")]
+        for t in dev_steps:
+            actions[t] = 1  # everything remote
+        actions[dev_steps[0]] = 0  # one local outlier
+        out = improve_locality(actions, env, rng)
+        # moved decisions only ever move to device 1 (the majority)
+        changed = [t for t in dev_steps if out[t] != actions[t]]
+        assert all(out[t] == 1 for t in changed)
+
+    def test_suboptimal_buckets_flags_low_reward(self, env):
+        from repro.rl import BucketDim, BucketedReplayBuffer, Entry
+        buf = BucketedReplayBuffer(
+            [BucketDim("slo", (0.1, 0.5, 1.0), +1)], top_n=2, share=False)
+        buf.insert((0.1,), Entry(np.array([0]), 0.9, 0.1, 75.0))
+        buf.insert((1.0,), Entry(np.array([0]), 0.1, 0.1, 75.0))
+        low = suboptimal_buckets(buf)
+        assert buf.bucket_of((1.0,)) in low
+        assert buf.bucket_of((0.1,)) not in low
+
+
+class TestGCSL:
+    def test_smoke_records_history(self, env, eval_setup):
+        tasks, mask = eval_setup
+        tr = GCSLTrainer(env, GCSLConfig(total_steps=96, rollout_batch=16,
+                                         eval_every=48, seed=0))
+        hist = tr.train(tasks, mask)
+        assert len(hist.steps) >= 1
+        assert len(hist.losses) > 0
+        assert all(np.isfinite(hist.losses))
+
+    def test_buffer_grows_and_bounded(self, env):
+        cfg = GCSLConfig(total_steps=64, rollout_batch=16, buffer_size=50,
+                         eval_every=10 ** 9, seed=1)
+        tr = GCSLTrainer(env, cfg)
+        tr.train(eval_tasks=[], eval_mask=np.zeros(0, dtype=bool))
+        assert 0 < len(tr.buffer) <= 50
+
+
+class TestPPO:
+    def test_smoke(self, env, eval_setup):
+        tasks, mask = eval_setup
+        tr = PPOTrainer(env, PPOConfig(total_steps=64, rollout_batch=16,
+                                       eval_every=32, seed=0))
+        hist = tr.train(tasks, mask)
+        assert len(hist.steps) >= 1
+        assert all(np.isfinite(hist.losses))
+
+
+class TestSupreme:
+    def test_smoke_and_buffer_populated(self, env, eval_setup):
+        tasks, mask = eval_setup
+        tr = SupremeTrainer(env, SupremeConfig(
+            total_steps=96, rollout_batch=16, eval_every=48, seed=0))
+        hist = tr.train(tasks, mask)
+        assert tr.buffer.num_entries > 0
+        assert len(hist.steps) >= 1
+
+    def test_epsilon_decays(self, env):
+        tr = SupremeTrainer(env, SupremeConfig(epsilon_start=0.6,
+                                               epsilon_end=0.1,
+                                               epsilon_decay_steps=100))
+        e0 = tr._epsilon()
+        tr._collected = 100
+        assert tr._epsilon() == pytest.approx(0.1)
+        assert e0 == pytest.approx(0.6)
+
+    def test_curriculum_expands(self, env):
+        tr = SupremeTrainer(env, SupremeConfig(curriculum=True,
+                                               curriculum_steps_per_dim=50))
+        assert tr._active_dims() == 2
+        tr._collected = 120
+        assert tr._active_dims() == 4
+
+    def test_curriculum_disabled(self, env):
+        tr = SupremeTrainer(env, SupremeConfig(curriculum=False))
+        assert tr._active_dims() is None
+
+    def test_murmuration_basic_flags(self):
+        cfg = murmuration_basic_config(total_steps=10)
+        assert cfg.share and not cfg.prune and not cfg.mutate
+        assert cfg.total_steps == 10
+
+    def test_bootstrap_seeds_buffer(self, env):
+        tr = SupremeTrainer(env, SupremeConfig())
+        assert tr.buffer.num_entries >= 2
+
+
+@pytest.mark.slow
+class TestTrainingOrdering:
+    def test_supreme_beats_ppo(self, env, eval_setup):
+        """The paper's headline RL result at small scale: SUPREME's final
+        reward exceeds PPO's (Fig. 11)."""
+        tasks, mask = eval_setup
+        steps = 480
+        sup = SupremeTrainer(env, SupremeConfig(
+            total_steps=steps, rollout_batch=16, eval_every=steps // 2,
+            seed=1))
+        h_sup = sup.train(tasks, mask)
+        ppo = PPOTrainer(env, PPOConfig(
+            total_steps=steps, rollout_batch=16, eval_every=steps // 2,
+            seed=1))
+        h_ppo = ppo.train(tasks, mask)
+        assert h_sup.avg_reward[-1] > h_ppo.avg_reward[-1]

@@ -1,0 +1,74 @@
+"""Serving loop: queueing behaviour and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLO, Murmuration, SearchDecisionEngine
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.netsim import NetworkCondition, TraceConfig, step_trace
+from repro.runtime import InferenceServer, RequestRecord, ServingStats
+
+
+def _system(slo_ms=200.0, seed=0):
+    devices = [rpi4(), desktop_gtx1080()]
+    return Murmuration(
+        MBV3_SPACE, devices, NetworkCondition((300.0,), (10.0,)),
+        SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=4),
+        slo=SLO.latency_ms(slo_ms), use_predictor=False,
+        monitor_noise=0.0, seed=seed)
+
+
+class TestRequestRecord:
+    def test_derived_times(self):
+        r = RequestRecord(arrival=1.0, start=1.5, finish=2.0,
+                          inference_s=0.4, decision_s=0.05, switch_s=0.05,
+                          satisfied=True)
+        assert r.queue_wait_s == pytest.approx(0.5)
+        assert r.end_to_end_s == pytest.approx(1.0)
+
+
+class TestInferenceServer:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            InferenceServer(_system(), arrival_rate_hz=0.0)
+
+    def test_serves_all_requests(self):
+        server = InferenceServer(_system(), arrival_rate_hz=2.0, seed=1)
+        stats = server.run(num_requests=12)
+        assert len(stats.records) == 12
+        # timeline is consistent
+        for r in stats.records:
+            assert r.finish >= r.start >= r.arrival
+
+    def test_fifo_no_overlap(self):
+        server = InferenceServer(_system(), arrival_rate_hz=50.0, seed=2)
+        stats = server.run(num_requests=10)
+        for a, b in zip(stats.records, stats.records[1:]):
+            assert b.start >= a.finish - 1e-12
+
+    def test_overload_builds_queue(self):
+        """Arrivals far above service capacity inflate queue waits."""
+        light = InferenceServer(_system(seed=3), arrival_rate_hz=0.5,
+                                seed=3).run(10)
+        heavy = InferenceServer(_system(seed=3), arrival_rate_hz=100.0,
+                                seed=3).run(10)
+        assert heavy.mean_queue_wait_ms > light.mean_queue_wait_ms
+
+    def test_stats_summary(self):
+        stats = InferenceServer(_system(), arrival_rate_hz=2.0,
+                                seed=4).run(8)
+        s = stats.summary()
+        assert "requests" in s and "compliance" in s
+        assert stats.throughput_rps > 0
+        assert stats.percentile_ms(95) >= stats.percentile_ms(50)
+
+    def test_condition_trace_applied(self):
+        trace = step_trace(TraceConfig(num_remote=1, steps=5, seed=5,
+                                       bw_range=(50.0, 400.0),
+                                       delay_range=(5.0, 50.0)), period=1)
+        server = InferenceServer(_system(seed=6), arrival_rate_hz=2.0,
+                                 seed=6)
+        stats = server.run(num_requests=10, condition_trace=trace,
+                           trace_period_s=1.0)
+        assert len(stats.records) == 10
