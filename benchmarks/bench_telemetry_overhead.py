@@ -1,0 +1,119 @@
+"""Telemetry overhead on the serving loop must stay below 5 %.
+
+The contract the `repro.telemetry` subsystem makes with the rest of the
+stack: instrumentation is *optional*, and even fully enabled (registry +
+tracer + per-request timelines) it may not tax the serving hot path by
+more than 5 % wall-clock.  Disabled telemetry (``telemetry=None``) must
+be indistinguishable from the pre-telemetry code.
+
+Methodology notes:
+
+* The scenario is the CLI's default serving run — Poisson arrivals over
+  a random-walk network trace with monitor noise — so decisions, cache
+  lookups and monitor probes all exercise their instrumented paths at
+  realistic per-request cost.
+* The clock is ``time.process_time`` (CPU seconds): instrumentation
+  overhead is extra *work*, and wall-clock on a shared machine mostly
+  measures the co-tenants.
+* GC is disabled inside each timed window (with a ``gc.collect()``
+  fence before it): the enabled runs retain thousands of spans and
+  timelines, and collector cycles otherwise land on whichever run
+  happens to trigger them.
+* Off/on measurements are interleaved in pairs with alternating order,
+  each aggregating several serving runs, and the verdict is the
+  *median* of per-pair ratios: pairing cancels slow machine drift, the
+  median discards transient spikes.
+"""
+
+import gc
+import time
+
+import pytest
+
+from repro.core import SLO, Murmuration, SearchDecisionEngine
+from repro.devices import desktop_gtx1080, rpi4
+from repro.nas import MBV3_SPACE
+from repro.netsim import NetworkCondition, TraceConfig, random_walk_trace
+from repro.runtime import InferenceServer
+from repro.telemetry import Telemetry
+
+REQUESTS = 120
+ROUNDS = 7
+REPS_PER_MEASUREMENT = 3
+
+_TRACE = random_walk_trace(TraceConfig(
+    num_remote=1, bw_range=(25.0, 120.0), delay_range=(15.0, 70.0),
+    steps=60, seed=1))
+
+
+def _run_once(telemetry):
+    devices = [rpi4(), desktop_gtx1080()]
+    system = Murmuration(
+        MBV3_SPACE, devices, NetworkCondition((80.0,), (30.0,)),
+        SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=4),
+        slo=SLO.latency_ms(200.0), use_predictor=False,
+        monitor_noise=0.02, seed=0, telemetry=telemetry)
+    server = InferenceServer(system, arrival_rate_hz=5.0, seed=1,
+                             telemetry=telemetry)
+    t0 = time.perf_counter()
+    stats = server.run(num_requests=REQUESTS, condition_trace=_TRACE,
+                       trace_period_s=0.5)
+    elapsed = time.perf_counter() - t0
+    return elapsed, stats
+
+
+def _measure(telemetry_factory):
+    """CPU seconds for one GC-fenced batch of serving runs."""
+    gc.collect()
+    gc.disable()
+    try:
+        t0 = time.process_time()
+        for _ in range(REPS_PER_MEASUREMENT):
+            _run_once(telemetry_factory())
+        return time.process_time() - t0
+    finally:
+        gc.enable()
+
+
+def _paired_overhead():
+    """Median per-pair (on/off - 1) over order-alternating rounds."""
+    ratios = []
+    for r in range(ROUNDS):
+        if r % 2 == 0:
+            t_off = _measure(lambda: None)
+            t_on = _measure(Telemetry)
+        else:
+            t_on = _measure(Telemetry)
+            t_off = _measure(lambda: None)
+        ratios.append(t_on / t_off - 1.0)
+    ratios.sort()
+    return ratios[len(ratios) // 2], ratios
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_telemetry_overhead_under_5_percent():
+    _run_once(None)       # warm-up: imports, allocator, caches
+    _run_once(Telemetry())
+    overhead, ratios = _paired_overhead()
+    print("\n=== telemetry overhead on the serving loop ===")
+    print(f"per-pair ratios: {['%+.1f%%' % (r * 100) for r in ratios]}")
+    print(f"median overhead: {overhead:+.2%} (budget +5.00%)")
+    assert overhead < 0.05
+
+
+@pytest.mark.benchmark(group="telemetry")
+def test_telemetry_records_everything_it_charges_for():
+    """The enabled run must actually produce the full artifact set —
+    otherwise the overhead comparison above is measuring nothing."""
+    tel = Telemetry()
+    _, stats = _run_once(tel)
+    assert len(tel.timelines) == REQUESTS
+    assert tel.registry.get("server_requests_total").value == REQUESTS
+    e2e = tel.registry.get("server_e2e_s")
+    assert e2e.count == REQUESTS
+    # streaming quantiles agree with the exact records within bucket width
+    exact_p50 = stats.percentile_ms(50) / 1e3
+    assert e2e.quantile(0.5) == pytest.approx(exact_p50, rel=0.25)
+    # every timeline tells the queue -> decision -> execute story
+    phases = set(tel.timelines[0].phases())
+    assert {"request", "queue", "decision", "execute"} <= phases

@@ -10,6 +10,9 @@ compares two operating points on the same hardware and network trace:
 
 The punchline: the SLO knob is also a throughput knob.
 
+Then a telemetry-instrumented run: the same loop with a `Telemetry` hub
+threaded through, printing where one request's time actually went.
+
 Run:  python examples/serving.py        (~1 min)
 """
 
@@ -18,15 +21,32 @@ from repro.devices import desktop_gtx1080, rpi4
 from repro.nas import MBV3_SPACE
 from repro.netsim import NetworkCondition, TraceConfig, random_walk_trace
 from repro.runtime import InferenceServer
+from repro.telemetry import Telemetry, console_report
 
 
-def build_system(slo_ms: float):
+def build_system(slo_ms: float, telemetry=None):
     devices = [rpi4(), desktop_gtx1080()]
     return Murmuration(
         MBV3_SPACE, devices, NetworkCondition((80.0,), (30.0,)),
         SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=6),
         slo=SLO.latency_ms(slo_ms), use_predictor=False,
-        monitor_noise=0.02, seed=0)
+        monitor_noise=0.02, seed=0, telemetry=telemetry)
+
+
+def telemetry_quickstart(trace) -> None:
+    """One instrumented serving run; report + per-request breakdown."""
+    tel = Telemetry()
+    system = build_system(200.0, telemetry=tel)
+    server = InferenceServer(system, arrival_rate_hz=4.0, seed=2,
+                             telemetry=tel)
+    server.run(num_requests=20, condition_trace=trace, trace_period_s=0.5)
+
+    print(console_report(tel.registry, tel.timelines, max_timelines=1))
+    tl = tel.timelines[-1]
+    print(f"\nlast request: {tl.total_s * 1e3:.1f} ms end-to-end, of which "
+          f"queue {tl.duration_of('queue') * 1e3:.1f} ms, "
+          f"decision {tl.duration_of('decision') * 1e3:.1f} ms, "
+          f"execute {tl.duration_of('execute') * 1e3:.1f} ms")
 
 
 def main() -> None:
@@ -50,6 +70,8 @@ def main() -> None:
                   f"{stats.mean_queue_wait_ms:7.1f}ms "
                   f"{acc:5.1f}% {stats.slo_compliance:6.0%}")
         print()
+
+    telemetry_quickstart(trace)
 
 
 if __name__ == "__main__":

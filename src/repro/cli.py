@@ -8,6 +8,7 @@ over :mod:`repro.eval` (the pytest benchmarks add assertions on top).
     python -m repro.cli fig13 --slo-ms 140
     python -m repro.cli fig17
     python -m repro.cli vit
+    python -m repro.cli telemetry --requests 60 --out telemetry.jsonl
 """
 
 from __future__ import annotations
@@ -79,6 +80,41 @@ def _vit(args) -> str:
     return "\n".join(lines)
 
 
+def _telemetry(args) -> str:
+    """Run an instrumented serving scenario; dump report + exports."""
+    from .core import SLO, Murmuration, SearchDecisionEngine
+    from .devices import desktop_gtx1080, rpi4
+    from .nas import MBV3_SPACE
+    from .netsim import NetworkCondition, TraceConfig, random_walk_trace
+    from .runtime import InferenceServer
+    from .telemetry import (Telemetry, console_report, prometheus_text,
+                            write_jsonl)
+
+    tel = Telemetry()
+    devices = [rpi4(), desktop_gtx1080()]
+    system = Murmuration(
+        MBV3_SPACE, devices, NetworkCondition((80.0,), (30.0,)),
+        SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=4),
+        slo=SLO.latency_ms(args.slo_ms), use_predictor=False,
+        monitor_noise=0.02, seed=0, telemetry=tel)
+    server = InferenceServer(system, arrival_rate_hz=args.rate, seed=1,
+                             telemetry=tel)
+    trace = random_walk_trace(TraceConfig(
+        num_remote=1, bw_range=(25.0, 120.0), delay_range=(15.0, 70.0),
+        steps=30, seed=1))
+    server.run(num_requests=args.requests, condition_trace=trace,
+               trace_period_s=0.5)
+
+    lines = write_jsonl(args.out, tel.registry, tel.timelines)
+    report = console_report(tel.registry, tel.timelines)
+    footer = [f"\nwrote {lines} JSONL records to {args.out}"]
+    if args.prom:
+        with open(args.prom, "w") as fh:
+            fh.write(prometheus_text(tel.registry))
+        footer.append(f"wrote Prometheus text to {args.prom}")
+    return report + "\n" + "\n".join(footer)
+
+
 _COMMANDS = {
     "fig13": (_fig13, "accuracy grid @ latency SLO (augmented)"),
     "fig14": (_fig14, "swarm accuracy vs bandwidth per SLO"),
@@ -88,6 +124,8 @@ _COMMANDS = {
     "fig18": (_fig18, "decision time: evolutionary vs RL"),
     "fig19": (_fig19, "model switch time"),
     "vit": (_vit, "extension: ViT patch-parallel inference"),
+    "telemetry": (_telemetry,
+                  "instrumented serving run: report + JSONL/Prometheus"),
 }
 
 
@@ -102,6 +140,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name == "fig13":
             p.add_argument("--slo-ms", type=float, default=140.0,
                            help="latency SLO in milliseconds")
+        elif name == "telemetry":
+            p.add_argument("--requests", type=int, default=60,
+                           help="requests to serve")
+            p.add_argument("--rate", type=float, default=4.0,
+                           help="Poisson arrival rate (req/s)")
+            p.add_argument("--slo-ms", type=float, default=200.0,
+                           help="latency SLO in milliseconds")
+            p.add_argument("--out", default="telemetry.jsonl",
+                           help="JSONL export path")
+            p.add_argument("--prom", default=None,
+                           help="also write Prometheus text to this path")
     args = parser.parse_args(argv)
 
     if args.command in (None, "list"):

@@ -33,6 +33,7 @@ from ..partition.simulate import simulate_latency
 from ..runtime.executor import DistributedExecutor, ExecutionResult
 from ..runtime.predictor import MonitoringPredictor
 from ..runtime.reconfig import ModelReconfig
+from ..telemetry import Telemetry
 from .decision import DecisionRecord, RLDecisionEngine, SearchDecisionEngine
 from .slo import SLO
 from .strategy import Strategy
@@ -68,23 +69,49 @@ class Murmuration:
                  supernet: Optional[Supernet] = None,
                  cache: Optional[StrategyCache] = None,
                  use_predictor: bool = True,
-                 monitor_noise: float = 0.03, seed: int = 0):
+                 monitor_noise: float = 0.03, seed: int = 0,
+                 telemetry: Optional[Telemetry] = None):
         self.space = space
         self.cluster = Cluster(list(devices), condition)
         self.engine = decision_engine
         self.slo = slo
         self.cache = cache if cache is not None else StrategyCache()
+        self.telemetry = telemetry
         self.monitor = NetworkMonitor(self.cluster, noise=monitor_noise,
-                                      seed=seed)
+                                      seed=seed, telemetry=telemetry)
         self.predictor = (MonitoringPredictor(self.cluster.num_devices - 1)
                           if use_predictor else None)
         self.supernet = supernet
         self.reconfig = (ModelReconfig(supernet, self.cluster.local)
                          if supernet is not None else None)
-        self.executor = (DistributedExecutor(supernet, self.cluster)
+        self.executor = (DistributedExecutor(supernet, self.cluster,
+                                             telemetry=telemetry)
                          if supernet is not None else None)
         self.records: List[InferenceRecord] = []
         self._now = 0.0
+        if telemetry is not None:
+            reg = telemetry.registry.child("core")
+            self._reg = reg
+            self._m_decision_s = reg.histogram(
+                "decision_s", help="decision-engine latency")
+            self._m_switch_s = reg.histogram(
+                "switch_s", help="model reconfiguration time")
+            self._m_inference_s = reg.histogram(
+                "inference_s", help="per-request inference latency")
+            self._m_cache_hits = reg.gauge(
+                "cache_hits", help="strategy-cache hits")
+            self._m_cache_misses = reg.gauge(
+                "cache_misses", help="strategy-cache misses")
+            self._m_cache_entries = reg.gauge(
+                "cache_entries", help="strategy-cache occupancy")
+            self._m_cache_hit_rate = reg.gauge(
+                "cache_hit_rate", help="strategy-cache hit rate")
+            self._m_cache_evictions = reg.gauge(
+                "cache_evictions", help="strategy-cache LRU evictions")
+            # decisions_total counters resolved once per engine string
+            self._m_decisions: dict = {}
+            # snapshot gauges refresh at export time, not per request
+            reg.add_collect_hook(self._sync_cache_metrics)
 
     # -- control plane -----------------------------------------------------
     def set_slo(self, slo: SLO) -> None:
@@ -115,11 +142,29 @@ class Murmuration:
         condition = condition or self.observed_condition()
         cached = self.cache.get(self.slo, condition)
         if cached is not None:
-            return DecisionRecord(cached, 0.0, "cache")
-        record = self.engine.decide(self.slo, condition)
-        if record.strategy is not None:
-            self.cache.put(self.slo, condition, record.strategy)
+            record = DecisionRecord(cached, 0.0, "cache")
+        else:
+            record = self.engine.decide(self.slo, condition)
+            if record.strategy is not None:
+                self.cache.put(self.slo, condition, record.strategy)
+        if self.telemetry is not None:
+            counter = self._m_decisions.get(record.engine)
+            if counter is None:
+                counter = self._reg.counter("decisions_total",
+                                            help="decisions by engine",
+                                            engine=record.engine)
+                self._m_decisions[record.engine] = counter
+            counter.inc()
+            self._m_decision_s.observe(record.decision_time_s)
         return record
+
+    def _sync_cache_metrics(self) -> None:
+        cache = self.cache
+        self._m_cache_hits.value = float(cache.hits)
+        self._m_cache_misses.value = float(cache.misses)
+        self._m_cache_entries.value = float(len(cache))
+        self._m_cache_hit_rate.value = cache.hit_rate
+        self._m_cache_evictions.value = float(cache.evictions)
 
     def precompute(self, conditions: Sequence[NetworkCondition]) -> int:
         """Warm the cache for forecast conditions (Sec. 5.1 fast path).
@@ -143,27 +188,40 @@ class Murmuration:
         """Serve one inference request under the current SLO."""
         if now is not None:
             self._now = now
-        decision = self.decide()
+        tracer = Telemetry.tracer_of(self.telemetry)
+        with tracer.span("decision", sim_time=self._now) as sp:
+            decision = self.decide()
+            sp.add_sim(decision.decision_time_s)
+            sp.annotate(engine=decision.engine)
         if decision.strategy is None:
             raise RuntimeError(
                 "no strategy satisfies the SLO under current conditions")
         strategy = decision.strategy
         switch_time = 0.0
+        switched = False
         logits = None
+        sim_t = self._now + decision.decision_time_s
         if self.reconfig is not None and (
                 self.reconfig.active_arch is None
                 or self.reconfig.active_arch != strategy.arch):
-            switch_time = self.reconfig.switch(strategy.arch).modeled_time_s
+            with tracer.span("switch", sim_time=sim_t) as sp:
+                switch_time = self.reconfig.switch(
+                    strategy.arch).modeled_time_s
+                switched = True
+                sp.add_sim(switch_time)
+        sim_t += switch_time
 
-        if self.executor is not None and x is not None:
-            result: ExecutionResult = self.executor.execute(
-                x, strategy.arch, strategy.plan)
-            latency = result.report.total_s
-            logits = result.logits
-        else:
-            graph = build_graph(strategy.arch, self.space)
-            latency = simulate_latency(graph, strategy.plan,
-                                       self.cluster).total_s
+        with tracer.span("execute", sim_time=sim_t) as sp:
+            if self.executor is not None and x is not None:
+                result: ExecutionResult = self.executor.execute(
+                    x, strategy.arch, strategy.plan, sim_time=sim_t)
+                latency = result.report.total_s
+                logits = result.logits
+            else:
+                graph = build_graph(strategy.arch, self.space)
+                latency = simulate_latency(graph, strategy.plan,
+                                           self.cluster).total_s
+            sp.add_sim(latency)
         accuracy = strategy.expected_accuracy
         satisfied = (self.slo.satisfied_by(latency, accuracy)
                      if self.slo else True)
@@ -174,6 +232,10 @@ class Murmuration:
             switch_time_s=switch_time, logits=logits)
         self.records.append(record)
         self._now += latency
+        if self.telemetry is not None:
+            self._m_inference_s.observe(latency)
+            if switched:
+                self._m_switch_s.observe(switch_time)
         return record
 
     # -- stats --------------------------------------------------------------------

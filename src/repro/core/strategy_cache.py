@@ -33,6 +33,9 @@ class StrategyCache:
         self._store: "OrderedDict[tuple, Strategy]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.inserts = 0
+        self.overwrites = 0
+        self.evictions = 0
 
     # -- key construction ---------------------------------------------------
     def _key(self, slo: SLO, condition: NetworkCondition) -> tuple:
@@ -60,13 +63,37 @@ class StrategyCache:
     def put(self, slo: SLO, condition: NetworkCondition,
             strategy: Strategy) -> None:
         key = self._key(slo, condition)
+        if key in self._store:
+            self.overwrites += 1
+        else:
+            self.inserts += 1
         self._store[key] = strategy
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
+        """Drop all entries *and* reset every counter."""
         self._store.clear()
+        self.hits = 0
+        self.misses = 0
+        self.inserts = 0
+        self.overwrites = 0
+        self.evictions = 0
+
+    def stats(self) -> dict:
+        """Snapshot of cache effectiveness (feeds telemetry gauges)."""
+        return {
+            "entries": len(self._store),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "inserts": self.inserts,
+            "overwrites": self.overwrites,
+            "evictions": self.evictions,
+        }
 
     def __len__(self) -> int:
         return len(self._store)

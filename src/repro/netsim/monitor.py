@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..telemetry import Telemetry
 from .topology import Cluster, NetworkCondition
 
 __all__ = ["Measurement", "NetworkMonitor"]
@@ -42,7 +43,8 @@ class NetworkMonitor:
     """
 
     def __init__(self, cluster: Cluster, noise: float = 0.05,
-                 ewma_alpha: float = 0.5, seed: int = 0):
+                 ewma_alpha: float = 0.5, seed: int = 0,
+                 telemetry: Optional[Telemetry] = None):
         self.cluster = cluster
         self.noise = noise
         self.ewma_alpha = ewma_alpha
@@ -50,6 +52,22 @@ class NetworkMonitor:
         self._history: List[Measurement] = []
         self._smoothed_bw: Dict[int, float] = {}
         self._smoothed_delay: Dict[int, float] = {}
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._reg = telemetry.registry.child("monitor")
+            # Pre-resolved per-source counters keep the probe hot path
+            # to plain attribute increments.
+            self._m_probes = {
+                source: self._reg.counter("probes_total",
+                                          help="monitoring samples",
+                                          source=source)
+                for source in ("active", "passive")}
+            self._m_bw_err = self._reg.histogram(
+                "bw_estimate_rel_error",
+                help="|smoothed bw - true bw| / true bw after each sample")
+            self._m_delay_err = self._reg.histogram(
+                "delay_estimate_rel_error",
+                help="|smoothed delay - true delay| / true delay")
 
     # -- probing -------------------------------------------------------------
     def _observe(self, device: int, now: float, relative_noise: float,
@@ -61,6 +79,15 @@ class NetworkMonitor:
         delay = true_delay * float(self._rng.lognormal(0.0, relative_noise))
         m = Measurement(device, bw, delay, now, source)
         self._ingest(m)
+        if self.telemetry is not None:
+            self._m_probes[source].inc()
+            if true_bw > 0:
+                self._m_bw_err.observe(
+                    abs(self._smoothed_bw[device] - true_bw) / true_bw)
+            if true_delay > 0:
+                self._m_delay_err.observe(
+                    abs(self._smoothed_delay[device] - true_delay)
+                    / true_delay)
         return m
 
     def active_probe(self, device: int, now: float = 0.0) -> Measurement:

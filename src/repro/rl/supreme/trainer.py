@@ -27,6 +27,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...nn.optim import Adam
+from ...telemetry import Telemetry
 from ..common import (TrainingHistory, bootstrap_actions, evaluate_policy,
                       satisfiable_mask, supervised_update)
 from ..env import MurmurationEnv, Task
@@ -78,7 +79,8 @@ class SupremeTrainer:
 
     def __init__(self, env: MurmurationEnv,
                  config: Optional[SupremeConfig] = None,
-                 policy: Optional[LSTMPolicy] = None):
+                 policy: Optional[LSTMPolicy] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.env = env
         self.cfg = config or SupremeConfig()
         self.rng = np.random.default_rng(self.cfg.seed)
@@ -88,6 +90,24 @@ class SupremeTrainer:
         self.buffer = self._build_buffer()
         self.history = TrainingHistory()
         self._collected = 0
+        self.telemetry = telemetry
+        if telemetry is not None:
+            reg = telemetry.registry.child("supreme")
+            self._m_episodes = reg.counter(
+                "episodes_total", help="collected rollout episodes")
+            self._m_mutations = reg.counter(
+                "mutations_total", help="mutation-round relabels")
+            self._m_updates = reg.counter(
+                "updates_total", help="supervised policy updates")
+            self._m_loss = reg.histogram(
+                "loss", help="imitation loss per update", lo=1e-8)
+            self._m_reward = reg.histogram(
+                "relabeled_reward", help="hindsight-relabeled reward",
+                lo=1e-8)
+            self._m_epsilon = reg.gauge(
+                "epsilon", help="current exploration rate")
+            self._m_buffer = reg.gauge(
+                "buffer_entries", help="entries stored in the buffer")
         self._bootstrap()
 
     # -- buffer construction ------------------------------------------------
@@ -129,6 +149,8 @@ class SupremeTrainer:
             condition=tuple(task.condition.as_vector()),
         )
         self.buffer.insert(values, entry)
+        if self.telemetry is not None:
+            self._m_reward.observe(entry.reward)
 
     def _bootstrap(self) -> None:
         task = self.env.sample_task(self.rng)
@@ -156,6 +178,10 @@ class SupremeTrainer:
         for i, task in enumerate(tasks):
             self._relabel_and_insert(batch.actions[i], task)
         self._collected += len(tasks)
+        if self.telemetry is not None:
+            self._m_episodes.inc(len(tasks))
+            self._m_epsilon.set(self._epsilon())
+            self._m_buffer.set(sum(1 for _ in self.buffer.entries()))
 
     def _train_batch(self) -> Optional[float]:
         cfg = self.cfg
@@ -166,8 +192,12 @@ class SupremeTrainer:
             self.env.encode_task(self.env.task_from_values(values))
             for values, _ in pairs])
         actions = np.stack([e.actions for _, e in pairs])
-        return supervised_update(self.policy, self.opt, self.env,
+        loss = supervised_update(self.policy, self.opt, self.env,
                                  contexts, actions)
+        if self.telemetry is not None and loss is not None:
+            self._m_updates.inc()
+            self._m_loss.observe(loss)
+        return loss
 
     def _mutate_round(self) -> None:
         cfg = self.cfg
@@ -186,6 +216,8 @@ class SupremeTrainer:
             else:
                 mutated = improve_locality(entry.actions, self.env, self.rng)
             self._relabel_and_insert(mutated, task)
+            if self.telemetry is not None:
+                self._m_mutations.inc()
 
     # -- driver ------------------------------------------------------------------
     def train(self, eval_tasks: Optional[Sequence[Task]] = None,

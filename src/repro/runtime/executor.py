@@ -31,6 +31,7 @@ from ..netsim.topology import Cluster
 from ..partition.plan import BlockPlan, ExecutionPlan
 from ..partition.simulate import LatencyReport, simulate_latency
 from ..partition.spatial import Grid, merge_tiles, split_tiles
+from ..telemetry import Telemetry
 from .rpc import Transport
 
 __all__ = ["ExecutionResult", "DistributedExecutor"]
@@ -69,14 +70,27 @@ def _segments(plan: ExecutionPlan) -> List[_Segment]:
 class DistributedExecutor:
     """Execute (arch, plan) on a cluster, for real."""
 
-    def __init__(self, supernet: Supernet, cluster: Cluster):
+    def __init__(self, supernet: Supernet, cluster: Cluster,
+                 telemetry: Optional[Telemetry] = None):
         self.net = supernet
         self.cluster = cluster
-        self.transport = Transport(cluster)
+        self.telemetry = telemetry
+        self.transport = Transport(cluster, telemetry=telemetry)
+        if telemetry is not None:
+            reg = telemetry.registry.child("executor")
+            self._m_segments = reg.counter(
+                "segments_total", help="plan segments executed")
+            self._m_partitioned = reg.counter(
+                "partitioned_segments_total",
+                help="segments run under spatial partitioning")
+            self._m_segment_wall = reg.histogram(
+                "segment_compute_wall_s",
+                help="wall-clock NumPy compute per segment")
 
     def execute(self, x: np.ndarray, arch: ArchConfig,
                 plan: ExecutionPlan,
-                graph: Optional[ModelGraph] = None) -> ExecutionResult:
+                graph: Optional[ModelGraph] = None,
+                sim_time: float = 0.0) -> ExecutionResult:
         """Run one batch through the partitioned submodel.
 
         ``x`` must be (N, 3, R, R) with R = arch.resolution.
@@ -93,26 +107,45 @@ class DistributedExecutor:
 
         self.net.eval()
         self.transport.reset_log()
+        tel = self.telemetry
+        tracer = Telemetry.tracer_of(tel)
+        # Modelled timing is deterministic in (graph, plan, cluster), so
+        # pricing it up front lets each segment span carry its simulated
+        # interval as well as its measured wall time.
+        report = simulate_latency(graph, plan, self.cluster)
+        done = report.per_block_done
         start_msgs = 0
         partitioned = 0
         loc = 0  # device currently holding the activation
         for seg in _segments(plan):
             bp = seg.plan
             units = [unit_ids[i] for i in range(seg.start, seg.stop)]
-            if bp.grid.ntiles == 1:
-                dst = bp.devices[0]
-                if dst != loc:
-                    msg = self.transport.send_tensor(x, loc, dst, bp.bits, 0.0)
-                    x = msg.payload
-                    loc = dst
-                x = self.net.run_units(x, arch, units)
-            else:
-                partitioned += 1
-                x = self._run_partitioned(x, arch, units, bp,
-                                          graph, seg, loc)
-                # After the merge the activation conceptually sits on the
-                # first tile's device (the merger).
-                loc = bp.devices[0]
+            seg_sim_start = sim_time + (done[seg.start - 1] if seg.start
+                                        else 0.0)
+            with tracer.span("segment", sim_time=seg_sim_start,
+                             blocks=f"{seg.start}:{seg.stop}",
+                             tiles=bp.grid.ntiles) as sp:
+                sp.set_sim_end(sim_time + done[seg.stop - 1])
+                if bp.grid.ntiles == 1:
+                    dst = bp.devices[0]
+                    if dst != loc:
+                        msg = self.transport.send_tensor(x, loc, dst,
+                                                         bp.bits, 0.0)
+                        x = msg.payload
+                        loc = dst
+                    x = self.net.run_units(x, arch, units)
+                else:
+                    partitioned += 1
+                    x = self._run_partitioned(x, arch, units, bp,
+                                              graph, seg, loc)
+                    # After the merge the activation conceptually sits on
+                    # the first tile's device (the merger).
+                    loc = bp.devices[0]
+            if tel is not None:
+                self._m_segments.inc()
+                if bp.grid.ntiles > 1:
+                    self._m_partitioned.inc()
+                self._m_segment_wall.observe(sp.wall_duration_s)
         # Result returns to the output device (tiny logits).
         if loc != plan.output_device:
             msg = self.transport.send_tensor(x, loc, plan.output_device,
@@ -120,7 +153,6 @@ class DistributedExecutor:
             x = msg.payload
             loc = plan.output_device
 
-        report = simulate_latency(graph, plan, self.cluster)
         return ExecutionResult(
             logits=x,
             report=report,

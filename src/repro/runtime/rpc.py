@@ -16,6 +16,7 @@ import numpy as np
 
 from ..netsim.topology import Cluster
 from ..nn.quantize import QuantizedTensor, dequantize, quantize
+from ..telemetry import Telemetry
 
 __all__ = ["Message", "Transport"]
 
@@ -35,9 +36,36 @@ class Message:
 class Transport:
     """Message channel between cluster devices with full accounting."""
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster,
+                 telemetry: Optional[Telemetry] = None):
         self.cluster = cluster
         self.log: List[Message] = []
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._reg = telemetry.registry.child("transport")
+            self._m_bytes = self._reg.counter(
+                "bytes_total", help="payload bytes on the wire")
+            self._m_messages = self._reg.counter(
+                "messages_total", help="cross-device messages")
+            self._m_transfer = self._reg.histogram(
+                "transfer_s", help="simulated per-message transfer time")
+
+    def _account(self, msg: Message, bits: Optional[int] = None) -> None:
+        """Record one cross-device delivery in the telemetry registry."""
+        self._m_bytes.inc(msg.nbytes)
+        self._m_messages.inc()
+        self._m_transfer.observe(msg.delivered_at - msg.sent_at)
+        link = f"{msg.src}-{msg.dst}"
+        self._reg.counter("link_bytes_total",
+                          help="payload bytes per link", link=link,
+                          ).inc(msg.nbytes)
+        self._reg.histogram("link_transfer_s",
+                            help="simulated transfer time per link",
+                            link=link).observe(msg.delivered_at - msg.sent_at)
+        if bits is not None:
+            self._reg.counter("quantized_messages_total",
+                              help="tensor messages by wire precision",
+                              bits=bits).inc()
 
     def send_tensor(self, x: np.ndarray, src: int, dst: int, bits: int,
                     now: float) -> Message:
@@ -56,6 +84,8 @@ class Transport:
             payload = dequantize(qt)
         msg = Message(src, dst, payload, nbytes, now, delivered)
         self.log.append(msg)
+        if self.telemetry is not None and src != dst:
+            self._account(msg, bits=bits)
         return msg
 
     def send_control(self, src: int, dst: int, payload: Any, now: float,
@@ -65,6 +95,8 @@ class Transport:
                      else now + self.cluster.transfer_time(src, dst, nbytes))
         msg = Message(src, dst, payload, nbytes, now, delivered)
         self.log.append(msg)
+        if self.telemetry is not None and src != dst:
+            self._account(msg)
         return msg
 
     @property

@@ -20,6 +20,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from ..netsim.topology import NetworkCondition
+from ..telemetry import Telemetry
 
 if TYPE_CHECKING:  # avoid core <-> runtime circular import at runtime
     from ..core.murmuration import InferenceRecord, Murmuration
@@ -63,10 +64,14 @@ class ServingStats:
         return len(self.records) / span if span > 0 else 0.0
 
     def percentile_ms(self, q: float) -> float:
+        if not self.records:
+            return 0.0
         return float(np.percentile(self._e2e(), q) * 1e3)
 
     @property
     def mean_queue_wait_ms(self) -> float:
+        if not self.records:
+            return 0.0
         return float(np.mean([r.queue_wait_s for r in self.records]) * 1e3)
 
     @property
@@ -88,12 +93,34 @@ class InferenceServer:
     """Poisson arrivals -> FIFO queue -> per-request adaptation."""
 
     def __init__(self, system: "Murmuration", arrival_rate_hz: float,
-                 seed: int = 0):
+                 seed: int = 0, telemetry: Optional[Telemetry] = None):
         if arrival_rate_hz <= 0:
             raise ValueError("arrival rate must be positive")
         self.system = system
         self.rate = arrival_rate_hz
         self.rng = np.random.default_rng(seed)
+        self.telemetry = telemetry
+        if telemetry is not None:
+            reg = telemetry.registry.child("server")
+            self._m_requests = reg.counter(
+                "requests_total", help="requests served")
+            self._m_satisfied = reg.counter(
+                "slo_satisfied_total", help="requests meeting the SLO")
+            self._m_violated = reg.counter(
+                "slo_violated_total", help="requests missing the SLO")
+            self._m_queue = reg.histogram(
+                "queue_wait_s", help="simulated FIFO queue wait")
+            self._m_e2e = reg.histogram(
+                "e2e_s", help="simulated end-to-end latency")
+            self._m_compliance = reg.gauge(
+                "slo_compliance", help="running SLO compliance rate")
+            # snapshot gauge: refreshed at export time, not per request
+            reg.add_collect_hook(self._sync_compliance)
+
+    def _sync_compliance(self) -> None:
+        total = self._m_requests.value
+        if total:
+            self._m_compliance.value = self._m_satisfied.value / total
 
     def run(self, num_requests: int,
             condition_trace: Optional[Sequence[NetworkCondition]] = None,
@@ -107,21 +134,37 @@ class InferenceServer:
         arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
                                                   num_requests))
         server_free = 0.0
-        for arrival in arrivals:
+        tel = self.telemetry
+        tracer = Telemetry.tracer_of(tel)
+        for i, arrival in enumerate(arrivals):
             if condition_trace:
                 idx = min(int(arrival / trace_period_s),
                           len(condition_trace) - 1)
                 self.system.update_condition(condition_trace[idx])
-            start = max(float(arrival), server_free)
-            record: "InferenceRecord" = self.system.infer(now=start)
-            service = (record.decision_time_s + record.switch_time_s
-                       + record.latency_s)
-            finish = start + service
+            arrival = float(arrival)
+            start = max(arrival, server_free)
+            with tracer.span("request", sim_time=arrival,
+                             request=i) as root:
+                with tracer.span("queue", sim_time=arrival) as qs:
+                    qs.set_sim_end(start)
+                record: "InferenceRecord" = self.system.infer(now=start)
+                service = (record.decision_time_s + record.switch_time_s
+                           + record.latency_s)
+                finish = start + service
+                root.set_sim_end(finish)
+                root.annotate(satisfied=record.satisfied,
+                              cache_hit=record.cache_hit)
             server_free = finish
             stats.records.append(RequestRecord(
-                arrival=float(arrival), start=start, finish=finish,
+                arrival=arrival, start=start, finish=finish,
                 inference_s=record.latency_s,
                 decision_s=record.decision_time_s,
                 switch_s=record.switch_time_s,
                 satisfied=record.satisfied))
+            if tel is not None:
+                self._m_requests.inc()
+                (self._m_satisfied if record.satisfied
+                 else self._m_violated).inc()
+                self._m_queue.observe(start - arrival)
+                self._m_e2e.observe(finish - arrival)
         return stats

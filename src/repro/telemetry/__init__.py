@@ -1,0 +1,50 @@
+"""repro.telemetry — metrics, tracing and per-request timelines.
+
+The observability layer for the whole serving stack.  Four pieces:
+
+* :mod:`~repro.telemetry.metrics` — label-aware counters/gauges and
+  fixed-memory streaming-quantile histograms in a
+  :class:`MetricsRegistry` with child scoping;
+* :mod:`~repro.telemetry.tracing` — nested :class:`Span` trees stamped
+  with both simulated-clock and wall-clock time, plus a zero-overhead
+  no-op mode;
+* :mod:`~repro.telemetry.timeline` — :class:`RequestTimeline`, the
+  flattened queue → decision → switch → execute → transfer story of one
+  request, assembled from spans;
+* :mod:`~repro.telemetry.export` — JSONL / Prometheus-text / console
+  exporters over the registry and timelines.
+
+Everything hangs off one :class:`Telemetry` hub that instrumented
+components accept as an optional constructor argument (``None`` = off)::
+
+    from repro.telemetry import Telemetry
+    tel = Telemetry()
+    system = Murmuration(..., telemetry=tel)
+    server = InferenceServer(system, arrival_rate_hz=4.0, telemetry=tel)
+    server.run(num_requests=100)
+    print(console_report(tel.registry, tel.timelines))
+"""
+
+from .export import console_report, jsonl_records, prometheus_text, write_jsonl
+from .hub import Telemetry
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .timeline import RequestTimeline, TimelineEvent
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Telemetry",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "RequestTimeline",
+    "TimelineEvent",
+    "write_jsonl",
+    "jsonl_records",
+    "prometheus_text",
+    "console_report",
+]

@@ -1,0 +1,159 @@
+"""Exporters: JSONL, Prometheus text format, and a console report.
+
+Three consumers, three formats:
+
+* ``write_jsonl`` — machine-readable archive: one JSON object per line,
+  first the metrics then the per-request timelines.  This is what the
+  ``murmuration-repro telemetry`` CLI dumps and what notebooks load.
+* ``prometheus_text`` — the Prometheus exposition format
+  (``name{label="v"} value``), so a real scrape endpoint can serve the
+  registry verbatim.  Histograms export as summaries (count, sum and
+  streaming quantiles).
+* ``console_report`` — a human-readable digest for terminals.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import IO, Iterable, Iterator, List, Sequence, Union
+
+from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry
+from .timeline import RequestTimeline
+
+__all__ = ["jsonl_records", "write_jsonl", "prometheus_text",
+           "console_report"]
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_QUANTILES = (0.5, 0.95, 0.99)
+
+
+def _sanitize(name: str) -> str:
+    """Coerce a metric name to the Prometheus grammar."""
+    name = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not name or not re.match(r"[a-zA-Z_:]", name[0]):
+        name = "_" + name
+    return name
+
+
+# -- JSONL -----------------------------------------------------------------
+
+def _metric_record(m: Metric) -> dict:
+    rec: dict = {"type": m.kind, "name": m.name, "labels": m.label_dict}
+    if isinstance(m, Histogram):
+        rec.update(count=m.count, sum=m.sum,
+                   min=(m.min if m.count else 0.0),
+                   max=(m.max if m.count else 0.0),
+                   mean=m.mean,
+                   quantiles={str(q): m.quantile(q) for q in _QUANTILES})
+    else:
+        rec["value"] = m.value
+    return rec
+
+
+def _json_default(obj):
+    """Tolerate NumPy scalars (and anything else stringable) in attrs."""
+    item = getattr(obj, "item", None)
+    if callable(item):
+        return item()
+    return str(obj)
+
+
+def jsonl_records(registry: MetricsRegistry,
+                  timelines: Sequence[RequestTimeline] = (),
+                  ) -> Iterator[dict]:
+    for m in registry.collect():
+        yield {"record": "metric", **_metric_record(m)}
+    for tl in timelines:
+        yield {"record": "timeline", **tl.to_dict()}
+
+
+def write_jsonl(dest: Union[str, IO[str]], registry: MetricsRegistry,
+                timelines: Sequence[RequestTimeline] = ()) -> int:
+    """Write the registry + timelines as JSON lines; returns line count."""
+    records = jsonl_records(registry, timelines)
+    if hasattr(dest, "write"):
+        n = 0
+        for rec in records:
+            dest.write(json.dumps(rec, default=_json_default)
+                       + "\n")  # type: ignore[union-attr]
+            n += 1
+        return n
+    with open(dest, "w") as fh:  # type: ignore[arg-type]
+        return write_jsonl(fh, registry, timelines)
+
+
+# -- Prometheus text format -------------------------------------------------
+
+def _fmt_labels(items: Iterable[tuple], extra: str = "") -> str:
+    parts = [f'{_sanitize(k)}="{v}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render every instrument in the exposition text format."""
+    lines: List[str] = []
+    seen_headers = set()
+    for m in registry.collect():
+        name = _sanitize(m.name)
+        if name not in seen_headers:
+            seen_headers.add(name)
+            if m.help:
+                lines.append(f"# HELP {name} {m.help}")
+            kind = "summary" if isinstance(m, Histogram) else m.kind
+            lines.append(f"# TYPE {name} {kind}")
+        if isinstance(m, Histogram):
+            for q in _QUANTILES:
+                labels = _fmt_labels(m.labels, extra=f'quantile="{q}"')
+                lines.append(f"{name}{labels} {m.quantile(q):.9g}")
+            lines.append(f"{name}_sum{_fmt_labels(m.labels)} {m.sum:.9g}")
+            lines.append(f"{name}_count{_fmt_labels(m.labels)} {m.count}")
+        else:
+            value = m.value
+            out = repr(int(value)) if float(value).is_integer() else f"{value:.9g}"
+            lines.append(f"{name}{_fmt_labels(m.labels)} {out}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- console ---------------------------------------------------------------
+
+def _label_suffix(m: Metric) -> str:
+    if not m.labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in m.labels) + "}"
+
+
+def console_report(registry: MetricsRegistry,
+                   timelines: Sequence[RequestTimeline] = (),
+                   max_timelines: int = 3) -> str:
+    """Human-readable digest of the registry + a few sample timelines."""
+    lines: List[str] = ["== telemetry report =="]
+    counters = [m for m in registry.collect() if isinstance(m, Counter)]
+    gauges = [m for m in registry.collect() if isinstance(m, Gauge)]
+    histos = [m for m in registry.collect() if isinstance(m, Histogram)]
+
+    if counters:
+        lines.append("-- counters --")
+        for m in counters:
+            lines.append(f"  {m.name + _label_suffix(m):<44s} "
+                         f"{m.value:12.6g}")
+    if gauges:
+        lines.append("-- gauges --")
+        for m in gauges:
+            lines.append(f"  {m.name + _label_suffix(m):<44s} "
+                         f"{m.value:12.6g}")
+    if histos:
+        lines.append("-- histograms (count / mean / p50 / p95 / p99) --")
+        for m in histos:
+            lines.append(
+                f"  {m.name + _label_suffix(m):<44s} "
+                f"{m.count:7d} {m.mean:10.4g} {m.quantile(0.5):10.4g} "
+                f"{m.quantile(0.95):10.4g} {m.quantile(0.99):10.4g}")
+    if timelines:
+        lines.append(f"-- timelines ({len(timelines)} requests, "
+                     f"showing {min(max_timelines, len(timelines))}) --")
+        for tl in list(timelines)[:max_timelines]:
+            lines.append(tl.render())
+    return "\n".join(lines)

@@ -1,0 +1,84 @@
+"""The :class:`Telemetry` hub — one object to thread through the stack.
+
+Instrumented components accept ``telemetry: Optional[Telemetry]``.  The
+convention across the codebase:
+
+* ``telemetry is None`` (the default everywhere) — telemetry is *off*.
+  Hot paths guard on ``None`` (or use :data:`~.tracing.NULL_TRACER`),
+  so disabled instrumentation costs at most a predicate per request and
+  allocates nothing.
+* one shared :class:`Telemetry` instance — every component scopes its
+  own metric names (``server_*``, ``transport_*``, ...) via
+  ``registry.child(scope)`` but shares the hub's store, tracer and
+  timeline buffer, so a single export captures the whole system.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .metrics import MetricsRegistry
+from .timeline import RequestTimeline
+from .tracing import NULL_TRACER, NullTracer, Tracer
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Bundles a metrics registry, a tracer, and collected timelines.
+
+    Timelines are materialized *lazily*: the serving hot path only
+    finishes root spans on the tracer; the flatten into
+    :class:`RequestTimeline` objects happens on first access to
+    :attr:`timelines` — i.e. at export/report time, for free per
+    request.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None,
+                 max_timelines: int = 10000):
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.max_timelines = max_timelines
+        self._timelines: List[RequestTimeline] = []
+        # total roots already materialized (including truncated ones),
+        # held in a one-element list so child views share the cursor
+        self._consumed = [0]
+
+    def child(self, scope: str) -> "Telemetry":
+        """A view with a scoped registry, sharing tracer + timelines."""
+        view = Telemetry.__new__(Telemetry)
+        view.registry = self.registry.child(scope)
+        view.tracer = self.tracer
+        view.max_timelines = self.max_timelines
+        view._timelines = self._timelines
+        view._consumed = self._consumed
+        return view
+
+    @property
+    def timelines(self) -> List[RequestTimeline]:
+        """All request timelines, materializing new finished roots."""
+        tracer = self.tracer
+        finished = tracer.finished
+        if finished:
+            dropped = getattr(tracer, "dropped", 0)
+            start = min(max(self._consumed[0] - dropped, 0), len(finished))
+            for i, root in enumerate(finished[start:], start=dropped + start):
+                self._timelines.append(RequestTimeline.from_span(
+                    root, request_id=root.attrs.get("request", i)))
+            self._consumed[0] = dropped + len(finished)
+            excess = len(self._timelines) - self.max_timelines
+            if excess > 0:
+                del self._timelines[:excess]
+        return self._timelines
+
+    def add_timeline(self, timeline: RequestTimeline) -> None:
+        """Append an explicitly-built timeline (bypasses the tracer)."""
+        self._timelines.append(timeline)
+        if len(self._timelines) > self.max_timelines:
+            del self._timelines[:len(self._timelines) - self.max_timelines]
+
+    @staticmethod
+    def tracer_of(telemetry: Optional["Telemetry"]):
+        """The hub's tracer, or the shared no-op tracer for ``None``."""
+        return telemetry.tracer if telemetry is not None else NULL_TRACER

@@ -1,5 +1,7 @@
 """CLI figure runner."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -27,3 +29,22 @@ class TestCLI:
     def test_unknown_command_errors(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_telemetry_runs_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "telemetry.jsonl"
+        prom = tmp_path / "metrics.prom"
+        assert main(["telemetry", "--requests", "8", "--out", str(out),
+                     "--prom", str(prom)]) == 0
+        stdout = capsys.readouterr().out
+        assert "== telemetry report ==" in stdout
+        assert "-- timelines" in stdout
+        assert "wrote" in stdout
+        # JSONL: every line parses; both record types present
+        records = [json.loads(line)
+                   for line in out.read_text().strip().split("\n")]
+        kinds = {r["record"] for r in records}
+        assert kinds == {"metric", "timeline"}
+        assert sum(r["record"] == "timeline" for r in records) == 8
+        # Prometheus text parses line-by-line (checked in detail in
+        # tests/telemetry/test_export.py); spot-check a known sample
+        assert "server_requests_total 8" in prom.read_text()

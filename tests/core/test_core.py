@@ -94,6 +94,76 @@ class TestStrategyCache:
         cache.get(SLO.latency(0.1), cond)
         assert cache.hit_rate == 0.5
 
+    def test_lru_eviction_order_respects_recency(self):
+        """A get() refreshes an entry, so the *other* one is evicted."""
+        cache = StrategyCache(capacity=2)
+        slo = SLO.latency(0.1)
+        s = _strategy()
+        c_a = NetworkCondition((50.0,), (10.0,))
+        c_b = NetworkCondition((150.0,), (10.0,))
+        c_c = NetworkCondition((300.0,), (10.0,))
+        cache.put(slo, c_a, s)
+        cache.put(slo, c_b, s)
+        assert cache.get(slo, c_a) is s   # refresh A: B is now oldest
+        cache.put(slo, c_c, s)            # evicts B
+        assert cache.get(slo, c_b) is None
+        assert cache.get(slo, c_a) is s
+        assert cache.get(slo, c_c) is s
+        assert cache.evictions == 1
+
+    def test_key_snapping_same_cell_collides(self):
+        """Conditions within half a step of each other share one cell."""
+        cache = StrategyCache(bw_step=25.0, delay_step=10.0)
+        slo = SLO.latency(0.14)
+        s = _strategy()
+        cache.put(slo, NetworkCondition((100.0,), (10.0,)), s)
+        # 100/25 = 4 and 110/25 = 4.4 both round to cell 4
+        assert cache.get(slo, NetworkCondition((110.0,), (12.0,))) is s
+        assert len(cache) == 1
+        # overwriting through a colliding key is an overwrite, not insert
+        cache.put(slo, NetworkCondition((110.0,), (12.0,)), s)
+        assert cache.inserts == 1 and cache.overwrites == 1
+
+    def test_key_snapping_adjacent_cells_do_not_collide(self):
+        cache = StrategyCache(bw_step=25.0, delay_step=10.0)
+        slo = SLO.latency(0.14)
+        s = _strategy()
+        cache.put(slo, NetworkCondition((100.0,), (10.0,)), s)
+        # 120/25 = 4.8 rounds to cell 5: one step over, distinct entry
+        assert cache.get(slo, NetworkCondition((120.0,), (10.0,))) is None
+        cache.put(slo, NetworkCondition((120.0,), (10.0,)), s)
+        assert len(cache) == 2 and cache.inserts == 2
+
+    def test_clear_resets_store_and_counters(self):
+        cache = StrategyCache(capacity=1)
+        slo = SLO.latency(0.1)
+        cond = NetworkCondition((100.0,), (10.0,))
+        cache.get(slo, cond)                                   # miss
+        cache.put(slo, cond, _strategy())                      # insert
+        cache.put(slo, cond, _strategy())                      # overwrite
+        cache.put(slo, NetworkCondition((300.0,), (50.0,)),
+                  _strategy())                                 # eviction
+        cache.get(slo, NetworkCondition((300.0,), (50.0,)))    # hit
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats() == {
+            "entries": 0, "capacity": 1, "hits": 0, "misses": 0,
+            "hit_rate": 0.0, "inserts": 0, "overwrites": 0, "evictions": 0}
+
+    def test_stats_snapshot(self):
+        cache = StrategyCache(capacity=8)
+        slo = SLO.latency(0.1)
+        cond = NetworkCondition((100.0,), (10.0,))
+        cache.get(slo, cond)
+        cache.put(slo, cond, _strategy())
+        cache.get(slo, cond)
+        st = cache.stats()
+        assert st["entries"] == 1 and st["capacity"] == 8
+        assert st["hits"] == 1 and st["misses"] == 1
+        assert st["hit_rate"] == 0.5
+        assert st["inserts"] == 1
+        assert st["overwrites"] == 0 and st["evictions"] == 0
+
 
 @pytest.fixture(scope="module")
 def devices():

@@ -28,6 +28,18 @@ class TestRequestRecord:
         assert r.end_to_end_s == pytest.approx(1.0)
 
 
+class TestServingStatsEmpty:
+    def test_empty_stats_are_zero_not_crash(self):
+        """Percentiles/means over zero records must degrade to 0.0."""
+        stats = ServingStats()
+        assert stats.percentile_ms(50) == 0.0
+        assert stats.percentile_ms(95) == 0.0
+        assert stats.mean_queue_wait_ms == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.slo_compliance == 0.0
+        assert "0 requests" in stats.summary()
+
+
 class TestInferenceServer:
     def test_invalid_rate(self):
         with pytest.raises(ValueError):
