@@ -80,6 +80,22 @@ def _vit(args) -> str:
     return "\n".join(lines)
 
 
+def _chaos(args) -> str:
+    """Crash-and-recover chaos run: resilient vs static vs no-failover."""
+    from dataclasses import replace
+
+    from .eval.chaos import ChaosConfig, format_chaos, run_chaos
+
+    cfg = ChaosConfig(seed=args.seed, slo_ms=args.slo_ms)
+    if args.requests is not None:
+        cfg = replace(cfg, num_requests=args.requests)
+    reports = run_chaos(cfg)
+    rep = reports["murmuration"]
+    return (format_chaos(reports)
+            + f"\n\nresilient completion: {rep.completion:.0%}, "
+            f"retries={rep.retries}, failovers={rep.failovers}")
+
+
 def _telemetry(args) -> str:
     """Run an instrumented serving scenario; dump report + exports."""
     from .core import SLO, Murmuration, SearchDecisionEngine
@@ -124,6 +140,8 @@ _COMMANDS = {
     "fig18": (_fig18, "decision time: evolutionary vs RL"),
     "fig19": (_fig19, "model switch time"),
     "vit": (_vit, "extension: ViT patch-parallel inference"),
+    "chaos": (_chaos,
+              "fault injection: crash-and-recover serving comparison"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
 }
@@ -140,6 +158,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if name == "fig13":
             p.add_argument("--slo-ms", type=float, default=140.0,
                            help="latency SLO in milliseconds")
+        elif name == "chaos":
+            p.add_argument("--requests", type=int, default=None,
+                           help="requests to serve (default 60)")
+            p.add_argument("--slo-ms", type=float, default=400.0,
+                           help="latency SLO in milliseconds")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for arrivals/noise/fault draws")
         elif name == "telemetry":
             p.add_argument("--requests", type=int, default=60,
                            help="requests to serve")
@@ -153,6 +178,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="also write Prometheus text to this path")
     args = parser.parse_args(argv)
 
+    if getattr(args, "requests", None) is not None and args.requests <= 0:
+        parser.error(f"--requests must be positive, got {args.requests}")
     if args.command in (None, "list"):
         print("available figures:")
         for name, (_, help_text) in _COMMANDS.items():

@@ -14,21 +14,39 @@ Two operating modes:
 * **executable** (a :class:`~repro.nas.supernet.Supernet` attached):
   :meth:`infer` really runs the partitioned submodel on the input batch
   through the distributed executor.
+
+Fault handling (opt-in via ``faults=``): the injector perturbs the true
+world each request; the *data plane* discovers crashed peers through
+timed-out sends (never by reading the schedule), pays the retry
+schedule, fails over to surviving devices, and degrades to the smallest
+feasible submodel on the gateway when nothing else survives.  Delivery
+outcomes feed a :class:`~repro.faults.health.DeviceHealth` circuit
+breaker; the *decision layer* consults only that breaker — cached
+strategies through open circuits are invalidated, fresh decisions are
+rerouted proactively, and a half-open probe re-admits recovered
+devices.  ``faults=None`` (the default) leaves every code path and
+every latency bit-identical to a fault-free build.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..devices.profiles import DeviceProfile
+from ..faults.health import DeviceHealth
+from ..faults.injector import FaultInjector
+from ..faults.resilience import ExecutionFailedError, ResilienceConfig
+from ..nas.accuracy_model import arch_accuracy, plan_accuracy_penalty
+from ..nas.arch import min_arch
 from ..nas.graph_builder import build_graph
 from ..nas.search_space import SearchSpace
 from ..nas.supernet import Supernet
 from ..netsim.monitor import NetworkMonitor
 from ..netsim.topology import Cluster, NetworkCondition
+from ..partition.plan import single_device_plan
 from ..partition.simulate import simulate_latency
 from ..runtime.executor import DistributedExecutor, ExecutionResult
 from ..runtime.predictor import MonitoringPredictor
@@ -54,10 +72,18 @@ class InferenceRecord:
     decision_time_s: float
     switch_time_s: float
     logits: Optional[np.ndarray] = None
+    #: "ok" | "retried" | "degraded" | "failed"
+    outcome: str = "ok"
+    retries: int = 0
+    failovers: int = 0
 
     @property
     def latency_ms(self) -> float:
         return self.latency_s * 1e3
+
+    @property
+    def completed(self) -> bool:
+        return self.outcome != "failed"
 
 
 class Murmuration:
@@ -70,7 +96,9 @@ class Murmuration:
                  cache: Optional[StrategyCache] = None,
                  use_predictor: bool = True,
                  monitor_noise: float = 0.03, seed: int = 0,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 faults: Optional[FaultInjector] = None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.space = space
         self.cluster = Cluster(list(devices), condition)
         self.engine = decision_engine
@@ -82,10 +110,23 @@ class Murmuration:
         self.predictor = (MonitoringPredictor(self.cluster.num_devices - 1)
                           if use_predictor else None)
         self.supernet = supernet
+        self.faults = faults
+        self.resilience = (resilience if resilience is not None
+                           else (ResilienceConfig() if faults is not None
+                                 else None))
+        self.health = (DeviceHealth(
+            self.cluster.num_devices,
+            failure_threshold=self.resilience.failure_threshold,
+            cooldown_s=self.resilience.cooldown_s,
+            telemetry=telemetry) if faults is not None else None)
+        self._base_condition = condition
         self.reconfig = (ModelReconfig(supernet, self.cluster.local)
                          if supernet is not None else None)
         self.executor = (DistributedExecutor(supernet, self.cluster,
-                                             telemetry=telemetry)
+                                             telemetry=telemetry,
+                                             faults=faults,
+                                             health=self.health,
+                                             resilience=self.resilience)
                          if supernet is not None else None)
         self.records: List[InferenceRecord] = []
         self._now = 0.0
@@ -108,6 +149,23 @@ class Murmuration:
                 "cache_hit_rate", help="strategy-cache hit rate")
             self._m_cache_evictions = reg.gauge(
                 "cache_evictions", help="strategy-cache LRU evictions")
+            self._m_retries = reg.counter(
+                "retries_total", help="message retries charged to requests")
+            self._m_failovers = reg.counter(
+                "failovers_total", help="requests re-planned onto survivors")
+            self._m_degraded = reg.counter(
+                "degraded_requests_total",
+                help="requests completed via gateway degradation")
+            self._m_failed = reg.counter(
+                "failed_requests_total",
+                help="requests that could not be completed")
+            self._m_reroutes = reg.counter(
+                "reroutes_total",
+                help="decisions rerouted around open circuits")
+            self._m_cache_invalidated = reg.counter(
+                "cache_invalidations_total",
+                help="cached strategies dropped for routing through "
+                     "open-circuit devices")
             # decisions_total counters resolved once per engine string
             self._m_decisions: dict = {}
             # snapshot gauges refresh at export time, not per request
@@ -120,7 +178,11 @@ class Murmuration:
 
     def update_condition(self, condition: NetworkCondition) -> None:
         """Apply a change in true network conditions (trace replay)."""
-        self.cluster.set_condition(condition)
+        self._base_condition = condition
+        if self.faults is not None:
+            self.faults.apply_to(self.cluster, condition)
+        else:
+            self.cluster.set_condition(condition)
 
     def observed_condition(self, now: Optional[float] = None) -> NetworkCondition:
         """Monitor probe round -> smoothed estimate (+ optional forecast)."""
@@ -134,6 +196,34 @@ class Murmuration:
                 return predicted
         return estimate
 
+    # -- decision helpers --------------------------------------------------
+    def _blocked_devices(self, plan) -> List[int]:
+        """Plan devices the circuit breaker currently rejects."""
+        if self.health is None:
+            return []
+        return [d for d in plan.devices_used()
+                if d != 0 and not self.health.allow(d, self._now)]
+
+    def _reroute(self, strategy: Strategy,
+                 condition: NetworkCondition) -> Strategy:
+        """Re-place a strategy on breaker-approved devices only.
+
+        Uses decision-layer knowledge exclusively: the health state and
+        the *observed* condition (a fresh cluster, so ground-truth
+        straggler scales never leak in).
+        """
+        allowed = [d for d in range(1, self.cluster.num_devices)
+                   if self.health.allow(d, self._now)]
+        target = max(allowed + [0],
+                     key=lambda d: self.cluster.device(d).effective_flops)
+        graph = build_graph(strategy.arch, self.space)
+        plan = single_device_plan(graph, device=target)
+        expected = simulate_latency(
+            graph, plan, Cluster(list(self.cluster.devices), condition))
+        accuracy = (arch_accuracy(strategy.arch, self.space)
+                    - plan_accuracy_penalty(plan))
+        return Strategy(strategy.arch, plan, expected.total_s, accuracy)
+
     def decide(self, condition: Optional[NetworkCondition] = None,
                ) -> DecisionRecord:
         """Run (or cache-hit) the decision for the current SLO."""
@@ -141,12 +231,30 @@ class Murmuration:
             raise RuntimeError("no SLO set; call set_slo() first")
         condition = condition or self.observed_condition()
         cached = self.cache.get(self.slo, condition)
+        if cached is not None and self._blocked_devices(cached.plan):
+            # Routes through an open circuit: invalidate, decide afresh.
+            self.cache.discard(self.slo, condition)
+            if self.telemetry is not None:
+                self._m_cache_invalidated.inc()
+            cached = None
         if cached is not None:
             record = DecisionRecord(cached, 0.0, "cache")
         else:
             record = self.engine.decide(self.slo, condition)
-            if record.strategy is not None:
+            if record.strategy is not None and not self._blocked_devices(
+                    record.strategy.plan):
                 self.cache.put(self.slo, condition, record.strategy)
+        if (record.strategy is not None and self.health is not None
+                and self.resilience.failover
+                and self._blocked_devices(record.strategy.plan)):
+            # Proactive reroute: avoid re-paying timeouts on devices the
+            # breaker already condemned.  Not cached — the original
+            # strategy becomes valid again once the circuit closes.
+            record = DecisionRecord(
+                self._reroute(record.strategy, condition),
+                record.decision_time_s, "reroute")
+            if self.telemetry is not None:
+                self._m_reroutes.inc()
         if self.telemetry is not None:
             counter = self._m_decisions.get(record.engine)
             if counter is None:
@@ -184,15 +292,21 @@ class Murmuration:
 
     # -- data plane ------------------------------------------------------------
     def infer(self, x: Optional[np.ndarray] = None,
-              now: Optional[float] = None) -> InferenceRecord:
+              now: Optional[float] = None,
+              request_id: Optional[int] = None) -> InferenceRecord:
         """Serve one inference request under the current SLO."""
         if now is not None:
             self._now = now
+        if self.faults is not None:
+            self.faults.advance(self._now)
+            self.faults.apply_to(self.cluster, self._base_condition)
         tracer = Telemetry.tracer_of(self.telemetry)
         with tracer.span("decision", sim_time=self._now) as sp:
             decision = self.decide()
             sp.add_sim(decision.decision_time_s)
             sp.annotate(engine=decision.engine)
+            if request_id is not None:
+                sp.annotate(request=request_id)
         if decision.strategy is None:
             raise RuntimeError(
                 "no strategy satisfies the SLO under current conditions")
@@ -200,6 +314,9 @@ class Murmuration:
         switch_time = 0.0
         switched = False
         logits = None
+        outcome = "ok"
+        retries = 0
+        failovers = 0
         sim_t = self._now + decision.decision_time_s
         if self.reconfig is not None and (
                 self.reconfig.active_arch is None
@@ -212,31 +329,177 @@ class Murmuration:
         sim_t += switch_time
 
         with tracer.span("execute", sim_time=sim_t) as sp:
-            if self.executor is not None and x is not None:
-                result: ExecutionResult = self.executor.execute(
-                    x, strategy.arch, strategy.plan, sim_time=sim_t)
-                latency = result.report.total_s
-                logits = result.logits
+            if request_id is not None:
+                sp.annotate(request=request_id)
+            if self.faults is None:
+                if self.executor is not None and x is not None:
+                    result: ExecutionResult = self.executor.execute(
+                        x, strategy.arch, strategy.plan, sim_time=sim_t,
+                        request_id=request_id)
+                    latency = result.report.total_s
+                    logits = result.logits
+                else:
+                    graph = build_graph(strategy.arch, self.space)
+                    latency = simulate_latency(graph, strategy.plan,
+                                               self.cluster).total_s
+                accuracy = strategy.expected_accuracy
+            elif self.executor is not None and x is not None:
+                (latency, accuracy, outcome, retries, failovers,
+                 logits) = self._execute_faulty(x, strategy, sim_t,
+                                                request_id)
             else:
-                graph = build_graph(strategy.arch, self.space)
-                latency = simulate_latency(graph, strategy.plan,
-                                           self.cluster).total_s
+                (latency, accuracy, outcome, retries,
+                 failovers) = self._plan_only_faulty(strategy)
             sp.add_sim(latency)
-        accuracy = strategy.expected_accuracy
-        satisfied = (self.slo.satisfied_by(latency, accuracy)
-                     if self.slo else True)
+            if outcome != "ok":
+                sp.annotate(outcome=outcome)
+        satisfied = (outcome != "failed"
+                     and (self.slo.satisfied_by(latency, accuracy)
+                          if self.slo else True))
         record = InferenceRecord(
             latency_s=latency, accuracy=accuracy, satisfied=satisfied,
             strategy=strategy, cache_hit=(decision.engine == "cache"),
             decision_time_s=decision.decision_time_s,
-            switch_time_s=switch_time, logits=logits)
+            switch_time_s=switch_time, logits=logits,
+            outcome=outcome, retries=retries, failovers=failovers)
         self.records.append(record)
         self._now += latency
         if self.telemetry is not None:
             self._m_inference_s.observe(latency)
             if switched:
                 self._m_switch_s.observe(switch_time)
+            if retries:
+                self._m_retries.inc(retries)
+            if failovers:
+                self._m_failovers.inc(failovers)
+            if outcome == "degraded":
+                self._m_degraded.inc()
+            elif outcome == "failed":
+                self._m_failed.inc()
+        if self.health is not None:
+            for dev in self.health.drain_opened():
+                n = self.cache.invalidate(
+                    lambda s, d=dev: d in s.plan.devices_used())
+                if self.telemetry is not None and n:
+                    self._m_cache_invalidated.inc(n)
         return record
+
+    # -- fault-aware execution paths ---------------------------------------
+    def _execute_faulty(self, x: np.ndarray, strategy: Strategy,
+                        sim_t: float, request_id: Optional[int]) -> Tuple:
+        """Executable mode: the executor owns retry/failover/degradation."""
+        try:
+            result = self.executor.execute(
+                x, strategy.arch, strategy.plan, sim_time=sim_t,
+                request_id=request_id)
+        except ExecutionFailedError as e:
+            return e.wasted_s, 0.0, "failed", e.retries, 0, None
+        if result.outcome == "degraded":
+            accuracy = (arch_accuracy(result.executed_arch, self.space)
+                        - plan_accuracy_penalty(single_device_plan(
+                            build_graph(result.executed_arch, self.space))))
+        else:
+            accuracy = strategy.expected_accuracy
+        return (result.report.total_s, accuracy, result.outcome,
+                result.retries, result.failovers, result.logits)
+
+    def _plan_only_faulty(self, strategy: Strategy) -> Tuple:
+        """Plan-only mode: simulate the data plane's fault experience.
+
+        Reachability checks here stand in for the sends the executor
+        would have attempted — each discovered failure costs the full
+        retry schedule, exactly like a timed-out transport send.
+        """
+        res = self.resilience
+        faults = self.faults
+        health = self.health
+        now = self._now
+        arch, plan = strategy.arch, strategy.plan
+        penalty = 0.0
+        retries = 0
+        failovers = 0
+        degraded = False
+        replanned = False
+        excluded: set = set()
+        while True:
+            remotes = [d for d in plan.devices_used() if d != 0]
+            dead = next((d for d in remotes
+                         if not faults.reachable(0, d)), None)
+            if dead is None:
+                graph = build_graph(arch, self.space)
+                report = simulate_latency(graph, plan, self.cluster)
+                extra, lost_retries, exhausted = self._loss_penalty(
+                    remotes, report.num_transfers)
+                retries += lost_retries
+                penalty += extra
+                if exhausted is None:
+                    for d in remotes:
+                        health.record_success(d, now)
+                    if replanned:
+                        accuracy = (arch_accuracy(arch, self.space)
+                                    - plan_accuracy_penalty(plan))
+                    else:
+                        accuracy = strategy.expected_accuracy
+                    outcome = ("degraded" if degraded
+                               else "retried" if (retries or failovers)
+                               else "ok")
+                    return (report.total_s + penalty, accuracy, outcome,
+                            retries, failovers)
+                dead = exhausted
+            else:
+                penalty += res.retry.give_up_cost()
+                retries += res.retry.max_retries
+            health.record_failure(dead, now)
+            if not res.failover:
+                return penalty, 0.0, "failed", retries, failovers
+            excluded.add(dead)
+            failovers += 1
+            candidates = [d for d in range(1, self.cluster.num_devices)
+                          if d not in excluded and health.allow(d, now)]
+            if candidates:
+                target = max(candidates, key=lambda d: self.cluster.device(
+                    d).effective_flops)
+                graph = build_graph(arch, self.space)
+                plan = single_device_plan(graph, device=target)
+            else:
+                if res.degradation:
+                    arch = replace(min_arch(self.space),
+                                   resolution=arch.resolution)
+                    degraded = True
+                graph = build_graph(arch, self.space)
+                plan = single_device_plan(graph, device=0)
+            replanned = True
+
+    def _loss_penalty(self, remotes: List[int],
+                      num_transfers: int) -> Tuple[float, int, Optional[int]]:
+        """Price message-loss retries for one plan-only execution.
+
+        Every transfer is approximated as crossing the lossiest link in
+        use.  Returns ``(extra_seconds, retries, exhausted_device)``
+        where ``exhausted_device`` is non-None when a transfer ran out
+        of retries (treated like an unreachable peer).
+        """
+        faults = self.faults
+        if not remotes or num_transfers <= 0:
+            return 0.0, 0, None
+        worst = max(remotes, key=lambda d: faults.loss_prob(0, d))
+        if faults.loss_prob(0, worst) <= 0.0:
+            return 0.0, 0, None
+        policy = self.resilience.retry
+        extra = 0.0
+        retries = 0
+        for _ in range(num_transfers):
+            delivered = False
+            for attempt in range(policy.attempts):
+                if not faults.message_lost(0, worst):
+                    delivered = True
+                    retries += attempt
+                    break
+                extra += policy.timeout_of(attempt)
+            if not delivered:
+                retries += policy.max_retries
+                return extra, retries, worst
+        return extra, retries, None
 
     # -- stats --------------------------------------------------------------------
     def compliance_rate(self) -> float:

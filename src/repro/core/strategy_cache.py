@@ -36,6 +36,7 @@ class StrategyCache:
         self.inserts = 0
         self.overwrites = 0
         self.evictions = 0
+        self.invalidations = 0
 
     # -- key construction ---------------------------------------------------
     def _key(self, slo: SLO, condition: NetworkCondition) -> tuple:
@@ -73,6 +74,30 @@ class StrategyCache:
             self._store.popitem(last=False)
             self.evictions += 1
 
+    def discard(self, slo: SLO, condition: NetworkCondition) -> bool:
+        """Drop one entry (e.g. it routes through a failed device).
+
+        Returns True if an entry was removed.
+        """
+        removed = self._store.pop(self._key(slo, condition), None) is not None
+        if removed:
+            self.invalidations += 1
+        return removed
+
+    def invalidate(self, predicate) -> int:
+        """Drop every cached strategy for which ``predicate(strategy)``
+        is true; returns the number removed.
+
+        The circuit breaker uses this to purge cached/precomputed
+        strategies that route through a device whose circuit just
+        opened.
+        """
+        doomed = [k for k, s in self._store.items() if predicate(s)]
+        for k in doomed:
+            del self._store[k]
+        self.invalidations += len(doomed)
+        return len(doomed)
+
     def clear(self) -> None:
         """Drop all entries *and* reset every counter."""
         self._store.clear()
@@ -81,6 +106,7 @@ class StrategyCache:
         self.inserts = 0
         self.overwrites = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def stats(self) -> dict:
         """Snapshot of cache effectiveness (feeds telemetry gauges)."""
@@ -93,6 +119,7 @@ class StrategyCache:
             "inserts": self.inserts,
             "overwrites": self.overwrites,
             "evictions": self.evictions,
+            "invalidations": self.invalidations,
         }
 
     def __len__(self) -> int:

@@ -12,6 +12,13 @@ from .experiments import (
     fig18_search_time,
     fig19_switch_time,
 )
+from .chaos import (
+    ChaosConfig,
+    ChaosReport,
+    chaos_crash_schedule,
+    format_chaos,
+    run_chaos,
+)
 from .murmuration_method import MurmurationOracle, lattice_archs, policy_method
 from .reporting import (
     accuracy_grid_to_csv,
@@ -41,6 +48,11 @@ __all__ = [
     "fig17_scalability",
     "fig18_search_time",
     "fig19_switch_time",
+    "ChaosConfig",
+    "ChaosReport",
+    "chaos_crash_schedule",
+    "format_chaos",
+    "run_chaos",
     "MurmurationOracle",
     "lattice_archs",
     "policy_method",

@@ -1,0 +1,176 @@
+"""Chaos scenario: crash-and-recover serving under fault injection.
+
+Serves one Poisson request stream through three variants of the runtime
+while remote devices crash and recover on a fixed schedule:
+
+* ``murmuration`` — the full resilient runtime: adaptive decisions,
+  retry/failover, circuit breaker, graceful degradation;
+* ``static`` — a fixed strategy chosen once at nominal conditions, but
+  with the same data-plane resilience (isolates the value of
+  *adaptation* from the value of *failover*);
+* ``no-failover`` — adaptive decisions with failover and degradation
+  disabled (the ablation: requests touching a dead device fail).
+
+Everything is seeded — arrivals, monitor noise, and the fault trace —
+so a fixed configuration reproduces identical numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.decision import DecisionRecord, SearchDecisionEngine
+from ..core.murmuration import Murmuration
+from ..core.slo import SLO
+from ..devices.profiles import desktop_gtx1080, jetson_class, rpi4
+from ..faults.injector import FaultInjector
+from ..faults.resilience import ResilienceConfig
+from ..faults.schedule import DeviceCrash, FaultSchedule, LinkDegradation
+from ..nas.search_space import MBV3_SPACE
+from ..netsim.topology import NetworkCondition
+from ..runtime.server import InferenceServer, ServingStats
+
+__all__ = ["ChaosConfig", "ChaosReport", "chaos_crash_schedule",
+           "run_chaos", "format_chaos"]
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """One chaos serving run (all times in simulated seconds)."""
+
+    num_requests: int = 60
+    arrival_rate_hz: float = 4.0
+    slo_ms: float = 400.0
+    seed: int = 0
+    #: GPU desktop (device 1) outage window
+    gpu_crash: tuple = (2.0, 8.0)
+    #: Jetson (device 2) outage window; overlaps the GPU outage so a
+    #: stretch exists where only the gateway survives -> degradation
+    jetson_crash: tuple = (4.0, 8.0)
+    #: post-recovery window where the GPU link collapses (bandwidth
+    #: scaled, delay added) — stresses *adaptation*, not failover
+    degrade_window: tuple = (9.0, 13.0)
+    degrade_bw_factor: float = 0.1
+    degrade_delay_ms: float = 60.0
+    n_random_archs: int = 4
+
+
+@dataclass
+class ChaosReport:
+    """Per-variant outcome of a chaos run."""
+
+    name: str
+    stats: ServingStats
+    #: simulated seconds from fault recovery until the first clean
+    #: ("ok" + SLO-satisfied) request finished; None if never
+    recovery_s: Optional[float]
+    retries: int
+    failovers: int
+
+    @property
+    def compliance(self) -> float:
+        return self.stats.slo_compliance
+
+    @property
+    def completion(self) -> float:
+        return self.stats.completion_rate
+
+    @property
+    def outcomes(self) -> dict:
+        return self.stats.outcome_counts()
+
+
+class _StaticEngine:
+    """Decide once at nominal conditions, serve that strategy forever."""
+
+    def __init__(self, inner: SearchDecisionEngine,
+                 nominal: NetworkCondition):
+        self._inner = inner
+        self._nominal = nominal
+        self._record: Optional[DecisionRecord] = None
+
+    def decide(self, slo: SLO, condition: NetworkCondition) -> DecisionRecord:
+        if self._record is None:
+            first = self._inner.decide(slo, self._nominal)
+            self._record = DecisionRecord(first.strategy, 0.0, "static")
+        return self._record
+
+
+def chaos_crash_schedule(cfg: ChaosConfig) -> FaultSchedule:
+    """The scenario's ground-truth fault trace."""
+    return FaultSchedule([
+        DeviceCrash(cfg.gpu_crash[0], cfg.gpu_crash[1], device=1),
+        DeviceCrash(cfg.jetson_crash[0], cfg.jetson_crash[1], device=2),
+        LinkDegradation(cfg.degrade_window[0], cfg.degrade_window[1],
+                        device=1, bw_factor=cfg.degrade_bw_factor,
+                        extra_delay_ms=cfg.degrade_delay_ms),
+    ])
+
+
+def _recovery_s(stats: ServingStats, horizon: float) -> Optional[float]:
+    for r in stats.records:
+        if r.start >= horizon and r.outcome == "ok" and r.satisfied:
+            return r.finish - horizon
+    return None
+
+
+def _run_variant(name: str, cfg: ChaosConfig,
+                 resilience: Optional[ResilienceConfig],
+                 static: bool, telemetry=None) -> ChaosReport:
+    devices = [rpi4(), desktop_gtx1080(), jetson_class()]
+    condition = NetworkCondition((80.0, 60.0), (20.0, 30.0))
+    schedule = chaos_crash_schedule(cfg)
+    faults = FaultInjector(schedule, seed=cfg.seed, telemetry=telemetry)
+    engine = SearchDecisionEngine(MBV3_SPACE, devices,
+                                  n_random_archs=cfg.n_random_archs,
+                                  seed=cfg.seed)
+    if static:
+        engine = _StaticEngine(engine, condition)
+    system = Murmuration(
+        MBV3_SPACE, devices, condition, engine,
+        slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
+        monitor_noise=0.02, seed=cfg.seed, telemetry=telemetry,
+        faults=faults, resilience=resilience)
+    server = InferenceServer(system, arrival_rate_hz=cfg.arrival_rate_hz,
+                             seed=cfg.seed + 1, telemetry=telemetry)
+    stats = server.run(num_requests=cfg.num_requests)
+    return ChaosReport(
+        name=name, stats=stats,
+        recovery_s=_recovery_s(stats, schedule.horizon),
+        retries=sum(r.retries for r in stats.records),
+        failovers=sum(r.failovers for r in stats.records))
+
+
+def run_chaos(cfg: ChaosConfig = ChaosConfig(),
+              telemetry=None) -> Dict[str, ChaosReport]:
+    """Run all three variants on the identical world; keyed by name.
+
+    ``telemetry`` (optional) instruments only the resilient variant —
+    attaching one registry to all three would conflate their counters.
+    """
+    return {
+        "murmuration": _run_variant(
+            "murmuration", cfg, ResilienceConfig(), static=False,
+            telemetry=telemetry),
+        "static": _run_variant(
+            "static", cfg, ResilienceConfig(), static=True),
+        "no-failover": _run_variant(
+            "no-failover", cfg,
+            ResilienceConfig(failover=False, degradation=False),
+            static=False),
+    }
+
+
+def format_chaos(reports: Dict[str, ChaosReport]) -> str:
+    lines = [f"{'variant':>12s}{'complete':>10s}{'comply':>8s}"
+             f"{'ok':>5s}{'retr':>6s}{'degr':>6s}{'fail':>6s}"
+             f"{'recovery':>10s}"]
+    for rep in reports.values():
+        o = rep.outcomes
+        rec = f"{rep.recovery_s:.2f}s" if rep.recovery_s is not None else "-"
+        lines.append(
+            f"{rep.name:>12s}{rep.completion:>10.0%}{rep.compliance:>8.0%}"
+            f"{o['ok']:>5d}{o['retried']:>6d}{o['degraded']:>6d}"
+            f"{o['failed']:>6d}{rec:>10s}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""repro.faults — fault injection, retry/failover, graceful degradation.
+
+The robustness layer for the distributed runtime.  Four pieces:
+
+* :mod:`~repro.faults.schedule` — timed, immutable fault events
+  (crashes, stragglers, link degradation, message loss, partitions) in
+  a :class:`FaultSchedule`, plus seeded generators;
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, which applies
+  the schedule to the simulated world and answers the data plane's
+  ground-truth queries (the decision layer never peeks);
+* :mod:`~repro.faults.health` — :class:`DeviceHealth`, per-device
+  circuit breakers built from the runtime's own delivery outcomes;
+* :mod:`~repro.faults.resilience` — :class:`RetryPolicy` (timeout +
+  exponential backoff), :class:`ResilienceConfig` (failover/degradation
+  knobs), and the transport/executor error types.
+
+Everything is opt-in: ``faults=None`` (the default everywhere) leaves
+the runtime's behaviour and latency accounting bit-identical to a
+fault-free build, same discipline as ``telemetry=None``::
+
+    from repro.faults import (DeviceCrash, FaultInjector, FaultSchedule,
+                              ResilienceConfig)
+    schedule = FaultSchedule([DeviceCrash(2.0, 5.0, device=1)])
+    injector = FaultInjector(schedule, seed=0)
+    system = Murmuration(..., faults=injector,
+                         resilience=ResilienceConfig())
+"""
+
+from .health import CircuitState, DeviceHealth
+from .injector import FaultInjector
+from .resilience import (DeviceUnreachableError, ExecutionFailedError,
+                         ResilienceConfig, RetryPolicy, TransportError)
+from .schedule import (DeviceCrash, FaultEvent, FaultSchedule,
+                       LinkDegradation, MessageLoss, Partition, Straggler,
+                       chaos_schedule, crash_and_recover_schedule)
+
+__all__ = [
+    "FaultEvent",
+    "DeviceCrash",
+    "Straggler",
+    "LinkDegradation",
+    "MessageLoss",
+    "Partition",
+    "FaultSchedule",
+    "crash_and_recover_schedule",
+    "chaos_schedule",
+    "FaultInjector",
+    "DeviceHealth",
+    "CircuitState",
+    "RetryPolicy",
+    "ResilienceConfig",
+    "TransportError",
+    "DeviceUnreachableError",
+    "ExecutionFailedError",
+]

@@ -1,0 +1,161 @@
+"""Per-device health tracking with circuit-breaker semantics.
+
+The decision layer may not peek at the fault schedule; what it *may* do
+is remember how its own sends went.  :class:`DeviceHealth` is that
+memory: a per-device breaker that opens after ``failure_threshold``
+consecutive delivery failures, rejects the device while open (so cached
+or freshly decided strategies routing through it are rerouted without
+re-paying timeouts), half-opens after ``cooldown_s`` of simulated time
+to let one trial request probe the device, and closes again on success.
+
+State machine (per remote device)::
+
+    CLOSED --(threshold consecutive failures)--> OPEN
+    OPEN   --(cooldown_s elapsed)-------------> HALF_OPEN
+    HALF_OPEN --success--> CLOSED
+    HALF_OPEN --failure--> OPEN (cooldown restarts)
+
+The gateway (device 0) is the coordinator itself and is always CLOSED.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional
+
+from ..telemetry import Telemetry
+
+__all__ = ["CircuitState", "DeviceHealth"]
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: numeric encoding for the per-device circuit-state gauge
+_GAUGE_VALUE = {CircuitState.CLOSED: 0.0, CircuitState.HALF_OPEN: 1.0,
+                CircuitState.OPEN: 2.0}
+
+
+class _Breaker:
+    __slots__ = ("state", "consecutive_failures", "opened_at")
+
+    def __init__(self):
+        self.state = CircuitState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = 0.0
+
+
+class DeviceHealth:
+    """Circuit breakers for every device in a cluster."""
+
+    def __init__(self, num_devices: int, failure_threshold: int = 3,
+                 cooldown_s: float = 2.0,
+                 telemetry: Optional[Telemetry] = None):
+        if num_devices < 1:
+            raise ValueError("need at least one device")
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be >= 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.num_devices = num_devices
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._breakers = [_Breaker() for _ in range(num_devices)]
+        self._newly_opened: List[int] = []
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._reg = telemetry.registry.child("health")
+            self._m_failures = self._reg.counter(
+                "failures_total", help="delivery failures recorded")
+            self._m_successes = self._reg.counter(
+                "successes_total", help="delivery successes recorded")
+            self._m_transitions: Dict[tuple, object] = {}
+            self._m_state = {
+                d: self._reg.gauge("circuit_state",
+                                   help="0=closed 1=half-open 2=open",
+                                   device=str(d))
+                for d in range(num_devices)}
+
+    # -- telemetry helpers ------------------------------------------------
+    def _transition(self, device: int, to: CircuitState) -> None:
+        if self.telemetry is None:
+            return
+        key = (device, to.value)
+        counter = self._m_transitions.get(key)
+        if counter is None:
+            counter = self._reg.counter(
+                "circuit_transitions_total",
+                help="circuit-breaker state changes",
+                device=str(device), to=to.value)
+            self._m_transitions[key] = counter
+        counter.inc()
+        self._m_state[device].set(_GAUGE_VALUE[to])
+
+    # -- queries ----------------------------------------------------------
+    def state(self, device: int, now: float) -> CircuitState:
+        """Current state, resolving open -> half-open on cooldown expiry."""
+        b = self._breakers[device]
+        if (b.state is CircuitState.OPEN
+                and now >= b.opened_at + self.cooldown_s):
+            b.state = CircuitState.HALF_OPEN
+            self._transition(device, CircuitState.HALF_OPEN)
+        return b.state
+
+    def allow(self, device: int, now: float) -> bool:
+        """May the runtime route work through ``device`` right now?
+
+        Closed and half-open circuits allow (half-open = trial probe);
+        open circuits reject.
+        """
+        if device == 0:
+            return True
+        return self.state(device, now) is not CircuitState.OPEN
+
+    def snapshot(self, now: float) -> Dict[int, str]:
+        return {d: self.state(d, now).value for d in range(self.num_devices)}
+
+    # -- observations -----------------------------------------------------
+    def record_failure(self, device: int, now: float) -> bool:
+        """Record one delivery failure; returns True if the circuit
+        newly opened."""
+        if device == 0:
+            return False
+        if self.telemetry is not None:
+            self._m_failures.inc()
+        b = self._breakers[device]
+        state = self.state(device, now)
+        b.consecutive_failures += 1
+        opens = (state is CircuitState.HALF_OPEN
+                 or (state is CircuitState.CLOSED
+                     and b.consecutive_failures >= self.failure_threshold))
+        if opens and state is not CircuitState.OPEN:
+            b.state = CircuitState.OPEN
+            b.opened_at = now
+            self._newly_opened.append(device)
+            self._transition(device, CircuitState.OPEN)
+            return True
+        return False
+
+    def record_success(self, device: int, now: float) -> None:
+        if device == 0:
+            return
+        if self.telemetry is not None:
+            self._m_successes.inc()
+        b = self._breakers[device]
+        state = self.state(device, now)
+        b.consecutive_failures = 0
+        if state is not CircuitState.CLOSED:
+            b.state = CircuitState.CLOSED
+            self._transition(device, CircuitState.CLOSED)
+
+    def drain_opened(self) -> List[int]:
+        """Devices whose circuit opened since the last drain.
+
+        The facade uses this to invalidate cached strategies that route
+        through newly opened devices.
+        """
+        out, self._newly_opened = self._newly_opened, []
+        return out

@@ -1,0 +1,123 @@
+"""The fault injector: applies a schedule to the simulated world.
+
+One :class:`FaultInjector` owns the ground-truth fault state derived
+from its :class:`~repro.faults.schedule.FaultSchedule` at the current
+simulated time.  It perturbs the *true* world — the cluster's link
+conditions and per-device compute scale — and answers the data plane's
+physical questions (is this peer reachable? did this message survive?).
+
+The decision layer never calls these queries.  It sees faults only
+through their observable consequences: degraded links show up in the
+network monitor's (noisy) probes, crashes show up as transport timeouts
+feeding the :class:`~repro.faults.health.DeviceHealth` breaker.
+
+Message-loss draws come from the injector's own seeded RNG, so a fixed
+``(schedule, seed)`` pair replays the identical fault trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..netsim.topology import Cluster, NetworkCondition
+from ..telemetry import Telemetry
+from .schedule import DeviceCrash, FaultEvent, FaultSchedule, Partition
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Deterministic fault application + ground-truth queries."""
+
+    def __init__(self, schedule: FaultSchedule, seed: int = 0,
+                 telemetry: Optional[Telemetry] = None):
+        if not isinstance(schedule, FaultSchedule):
+            schedule = FaultSchedule(schedule)
+        self.schedule = schedule
+        self._rng = np.random.default_rng(seed)
+        self.now = 0.0
+        self._active: frozenset = frozenset()
+        self._applied_key: Optional[tuple] = None
+        self.telemetry = telemetry
+        if telemetry is not None:
+            self._reg = telemetry.registry.child("faults")
+            self._m_events: Dict[str, object] = {}
+            self._m_device_up: Dict[int, object] = {}
+            for dev in sorted(self._fault_devices()):
+                self._m_device_up[dev] = self._reg.gauge(
+                    "device_up", help="1 while the device is reachable",
+                    device=str(dev))
+                self._m_device_up[dev].set(1.0)
+
+    def _fault_devices(self) -> set:
+        out = set()
+        for e in self.schedule:
+            if isinstance(e, DeviceCrash):
+                out.add(e.device)
+            elif isinstance(e, Partition):
+                out.update(e.devices)
+        return out
+
+    # -- time -------------------------------------------------------------
+    def advance(self, now: float) -> List[FaultEvent]:
+        """Move the injector's clock; returns events that just became
+        active (fault onsets) for logging/telemetry."""
+        self.now = float(now)
+        active = frozenset(self.schedule.active(self.now))
+        started = active - self._active
+        ended = self._active - active
+        self._active = active
+        if self.telemetry is not None and (started or ended):
+            for e in started:
+                counter = self._m_events.get(e.kind)
+                if counter is None:
+                    counter = self._reg.counter(
+                        "events_total", help="fault onsets by kind",
+                        kind=e.kind)
+                    self._m_events[e.kind] = counter
+                counter.inc()
+            iso = self.schedule.unreachable_devices(self.now)
+            for dev, gauge in self._m_device_up.items():
+                gauge.set(0.0 if dev in iso else 1.0)
+        return sorted(started, key=lambda e: (e.start, e.kind))
+
+    # -- world application ------------------------------------------------
+    def apply_to(self, cluster: Cluster,
+                 base_condition: NetworkCondition) -> None:
+        """Overwrite the cluster's true state with the faulted view.
+
+        Idempotent per (active events, base condition): repeated calls
+        between transitions skip the link rebuild.
+        """
+        key = (self._active, base_condition)
+        if key == self._applied_key:
+            return
+        cluster.set_condition(self.schedule.degrade(base_condition, self.now))
+        cluster.compute_scale = self.schedule.compute_scale(self.now)
+        self._applied_key = key
+
+    # -- ground-truth queries (data plane only) ---------------------------
+    def is_down(self, device: int) -> bool:
+        return device in self.schedule.unreachable_devices(self.now)
+
+    def reachable(self, src: int, dst: int) -> bool:
+        return self.schedule.reachable(src, dst, self.now)
+
+    def loss_prob(self, src: int, dst: int) -> float:
+        return self.schedule.loss_prob(src, dst, self.now)
+
+    def message_lost(self, src: int, dst: int) -> bool:
+        """Draw one message's fate on the current link conditions."""
+        p = self.schedule.loss_prob(src, dst, self.now)
+        if p <= 0.0:
+            return False
+        return bool(self._rng.random() < p)
+
+    def compute_scale(self) -> Dict[int, float]:
+        return self.schedule.compute_scale(self.now)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FaultInjector(now={self.now:.3f}, "
+                f"active={len(self._active)}/{len(self.schedule)})")

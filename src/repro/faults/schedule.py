@@ -1,0 +1,294 @@
+"""Timed fault schedules: *what* goes wrong in the world, and *when*.
+
+A :class:`FaultSchedule` is a plain, immutable list of timed events —
+device crashes, stragglers, link degradation, message loss, network
+partitions — each active over a ``[start, end)`` window of simulated
+time.  The schedule is pure ground truth: only the data plane (the
+transport and the executor, i.e. code that would physically notice a
+dead peer) may consult it, through the
+:class:`~repro.faults.injector.FaultInjector`.  The decision layer
+learns about faults the honest way — timeouts, retries and the
+circuit-breaker state they feed.
+
+Schedules are deterministic values: the same events (or the same
+generator seed) replay the same world, which is what makes the chaos
+benchmarks reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim.topology import NetworkCondition
+
+__all__ = ["FaultEvent", "DeviceCrash", "Straggler", "LinkDegradation",
+           "MessageLoss", "Partition", "FaultSchedule",
+           "crash_and_recover_schedule", "chaos_schedule"]
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Base: something is wrong during ``[start, end)`` simulated seconds."""
+
+    start: float
+    end: float
+
+    kind = "event"
+
+    def __post_init__(self):
+        if not (self.start >= 0.0 and self.end > self.start):
+            raise ValueError(
+                f"need 0 <= start < end, got [{self.start}, {self.end})")
+
+    def active(self, now: float) -> bool:
+        return self.start <= now < self.end
+
+
+@dataclass(frozen=True)
+class DeviceCrash(FaultEvent):
+    """A remote device is down (process crash, battery death, walk-away).
+
+    The gateway (device 0) is the coordinator holding the input and
+    serving the result; it cannot crash — if it did there would be no
+    request to fail.
+    """
+
+    device: int = 1
+    kind = "crash"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.device < 1:
+            raise ValueError("only remote devices (id >= 1) can crash")
+
+
+@dataclass(frozen=True)
+class Straggler(FaultEvent):
+    """A device computes ``slowdown``x slower (thermal throttling,
+    co-tenant contention)."""
+
+    device: int = 1
+    slowdown: float = 2.0
+    kind = "straggler"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.device < 0:
+            raise ValueError("device id must be non-negative")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown is a compute-time multiplier >= 1")
+
+
+@dataclass(frozen=True)
+class LinkDegradation(FaultEvent):
+    """One remote link collapses: bandwidth scaled by ``bw_factor``,
+    ``extra_delay_ms`` added (interference, congestion, rate limiting)."""
+
+    device: int = 1
+    bw_factor: float = 1.0
+    extra_delay_ms: float = 0.0
+    kind = "degradation"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.device < 1:
+            raise ValueError("degradation applies to a remote link (id >= 1)")
+        if not (0.0 < self.bw_factor <= 1.0):
+            raise ValueError("bw_factor must be in (0, 1]")
+        if self.extra_delay_ms < 0.0:
+            raise ValueError("extra delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class MessageLoss(FaultEvent):
+    """Messages crossing a link are dropped with probability ``prob``.
+
+    ``device=None`` applies to every remote link.
+    """
+
+    prob: float = 0.0
+    device: Optional[int] = None
+    kind = "loss"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not (0.0 <= self.prob < 1.0):
+            raise ValueError("loss probability must be in [0, 1)")
+        if self.device is not None and self.device < 1:
+            raise ValueError("loss applies to a remote link (id >= 1)")
+
+
+@dataclass(frozen=True)
+class Partition(FaultEvent):
+    """A set of remote devices is cut off from the star's switch.
+
+    Devices inside the partition are unreachable from everything else
+    (including each other: remote-remote traffic relays through the
+    switch they lost).
+    """
+
+    devices: Tuple[int, ...] = ()
+    kind = "partition"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.devices:
+            raise ValueError("partition needs at least one device")
+        if any(d < 1 for d in self.devices):
+            raise ValueError("the gateway (device 0) cannot be partitioned "
+                             "away from itself")
+
+
+class FaultSchedule:
+    """An immutable, queryable set of timed fault events."""
+
+    def __init__(self, events: Sequence[FaultEvent] = ()):
+        for e in events:
+            if not isinstance(e, FaultEvent):
+                raise TypeError(f"not a FaultEvent: {e!r}")
+        self.events: Tuple[FaultEvent, ...] = tuple(
+            sorted(events, key=lambda e: (e.start, e.end, e.kind)))
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def horizon(self) -> float:
+        """Latest finite event end (0.0 for an empty schedule)."""
+        ends = [e.end for e in self.events if math.isfinite(e.end)]
+        starts = [e.start for e in self.events]
+        return max(ends) if ends else (max(starts) if starts else 0.0)
+
+    # -- point-in-time queries -------------------------------------------
+    def active(self, now: float) -> Tuple[FaultEvent, ...]:
+        return tuple(e for e in self.events if e.active(now))
+
+    def down_devices(self, now: float) -> frozenset:
+        """Devices that are crashed at ``now``."""
+        return frozenset(e.device for e in self.events
+                         if isinstance(e, DeviceCrash) and e.active(now))
+
+    def unreachable_devices(self, now: float) -> frozenset:
+        """Crashed or partitioned-away devices at ``now``."""
+        out = set(self.down_devices(now))
+        for e in self.events:
+            if isinstance(e, Partition) and e.active(now):
+                out.update(e.devices)
+        return frozenset(out)
+
+    def reachable(self, src: int, dst: int, now: float) -> bool:
+        """Can a message physically travel ``src -> dst`` at ``now``?"""
+        if src == dst:
+            return True
+        iso = self.unreachable_devices(now)
+        return src not in iso and dst not in iso
+
+    def compute_scale(self, now: float) -> Dict[int, float]:
+        """Per-device compute-time multipliers from active stragglers."""
+        out: Dict[int, float] = {}
+        for e in self.events:
+            if isinstance(e, Straggler) and e.active(now):
+                out[e.device] = out.get(e.device, 1.0) * e.slowdown
+        return out
+
+    def loss_prob(self, src: int, dst: int, now: float) -> float:
+        """Combined drop probability for one ``src -> dst`` message.
+
+        Every remote endpoint's link is crossed once (remote-remote
+        relays through the switch); independent loss events compound.
+        """
+        if src == dst:
+            return 0.0
+        links = {d for d in (src, dst) if d != 0}
+        p_keep = 1.0
+        for e in self.events:
+            if not (isinstance(e, MessageLoss) and e.active(now)):
+                continue
+            hits = len(links) if e.device is None else (e.device in links)
+            for _ in range(int(hits)):
+                p_keep *= 1.0 - e.prob
+        return 1.0 - p_keep
+
+    def degrade(self, condition: NetworkCondition,
+                now: float) -> NetworkCondition:
+        """Apply active link degradations on top of a base condition."""
+        bws = list(condition.bandwidths_mbps)
+        delays = list(condition.delays_ms)
+        changed = False
+        for e in self.events:
+            if not (isinstance(e, LinkDegradation) and e.active(now)):
+                continue
+            i = e.device - 1
+            if i >= len(bws):
+                continue  # schedule written for a larger cluster
+            bws[i] *= e.bw_factor
+            delays[i] += e.extra_delay_ms
+            changed = True
+        if not changed:
+            return condition
+        return NetworkCondition(tuple(bws), tuple(delays))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        kinds: Dict[str, int] = {}
+        for e in self.events:
+            kinds[e.kind] = kinds.get(e.kind, 0) + 1
+        return f"FaultSchedule({len(self.events)} events, {kinds})"
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+def crash_and_recover_schedule(device: int, crash_at: float,
+                               recover_at: float) -> FaultSchedule:
+    """The canonical trace: one remote device dies, then comes back."""
+    return FaultSchedule([DeviceCrash(crash_at, recover_at, device=device)])
+
+
+def chaos_schedule(num_remote: int, duration_s: float, seed: int = 0,
+                   crash_rate_hz: float = 0.05,
+                   mean_outage_s: float = 4.0,
+                   straggler_rate_hz: float = 0.05,
+                   max_slowdown: float = 4.0,
+                   loss_prob: float = 0.0) -> FaultSchedule:
+    """A seeded random fault mix over ``[0, duration_s)``.
+
+    Crash and straggler windows arrive per device as Poisson processes;
+    an optional all-link :class:`MessageLoss` covers the whole horizon.
+    Same seed, same chaos — the benchmarks depend on that.
+    """
+    if num_remote < 1:
+        raise ValueError("need at least one remote device")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    events: List[FaultEvent] = []
+    for dev in range(1, num_remote + 1):
+        t = float(rng.exponential(1.0 / crash_rate_hz)) if crash_rate_hz > 0 \
+            else duration_s
+        while t < duration_s:
+            outage = float(rng.exponential(mean_outage_s))
+            events.append(DeviceCrash(t, min(t + outage, duration_s + outage),
+                                      device=dev))
+            t += outage + float(rng.exponential(1.0 / crash_rate_hz))
+        t = float(rng.exponential(1.0 / straggler_rate_hz)) \
+            if straggler_rate_hz > 0 else duration_s
+        while t < duration_s:
+            span = float(rng.exponential(mean_outage_s))
+            slow = 1.0 + float(rng.uniform(0.5, max_slowdown - 1.0))
+            events.append(Straggler(t, t + span, device=dev, slowdown=slow))
+            t += span + float(rng.exponential(1.0 / straggler_rate_hz))
+    if loss_prob > 0.0:
+        events.append(MessageLoss(0.0, duration_s, prob=loss_prob))
+    return FaultSchedule(events)

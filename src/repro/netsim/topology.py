@@ -63,6 +63,11 @@ class Cluster:
         self.devices: List[DeviceProfile] = list(devices)
         self.condition = condition
         self.rpc_overhead_ms = rpc_overhead_ms
+        # Per-device compute-time multipliers (straggler injection).
+        # Empty = nominal; only the fault injector ever populates this,
+        # so planners that build their own Cluster from an *observed*
+        # condition never see ground-truth slowdowns.
+        self.compute_scale: Dict[int, float] = {}
         self._links: Dict[int, Link] = {}
         self._rebuild_links()
 

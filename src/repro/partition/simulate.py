@@ -67,6 +67,11 @@ def simulate_latency(graph: ModelGraph, plan: ExecutionPlan,
     """
     plan.validate_for(graph, cluster.num_devices)
 
+    # Straggler injection: per-device compute-time multipliers set by the
+    # fault injector.  Empty (the default) costs one falsy check per block
+    # and leaves every timing bit-identical.
+    compute_scale = getattr(cluster, "compute_scale", None)
+
     n_dev = cluster.num_devices
     report = LatencyReport(total_s=0.0,
                            compute_s={i: 0.0 for i in range(n_dev)},
@@ -140,6 +145,8 @@ def simulate_latency(graph: ModelGraph, plan: ExecutionPlan,
             mem = (_FP32 * (prev_elements + block.out_elements) * fdsp / ntiles
                    + block.weight_bytes)
             t_compute = dev.compute_time(flops, mem)
+            if compute_scale:
+                t_compute *= compute_scale.get(dst, 1.0)
             start = max(dev_ready[dst], arrival)
             end = start + t_compute
             dev_ready[dst] = end

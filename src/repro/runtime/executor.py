@@ -14,21 +14,31 @@ an :class:`~repro.partition.plan.ExecutionPlan`:
   error at the plan's wire precision;
 * timing comes from the same latency simulator the RL reward uses, so
   executed latencies and planned latencies agree by construction.
+
+Failure semantics (opt-in via ``faults=``): when a send exhausts its
+retries mid-plan, the executor fails over — it restarts the request on
+the best surviving device (re-paying the wasted discovery time), and
+when no remote survives it gracefully degrades to the smallest feasible
+submodel entirely on the gateway: accuracy drops, the request still
+completes.  With failover disabled the request fails with
+:class:`~repro.faults.resilience.ExecutionFailedError`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..faults.resilience import (DeviceUnreachableError, ExecutionFailedError,
+                                 ResilienceConfig)
 from ..models.graph import ModelGraph
-from ..nas.arch import ArchConfig
+from ..nas.arch import ArchConfig, min_arch
 from ..nas.graph_builder import build_graph
 from ..nas.supernet import Supernet
 from ..netsim.topology import Cluster
-from ..partition.plan import BlockPlan, ExecutionPlan
+from ..partition.plan import BlockPlan, ExecutionPlan, single_device_plan
 from ..partition.simulate import LatencyReport, simulate_latency
 from ..partition.spatial import Grid, merge_tiles, split_tiles
 from ..telemetry import Telemetry
@@ -44,6 +54,16 @@ class ExecutionResult:
     comm_bytes: int
     num_messages: int
     partitioned_segments: int
+    #: "ok" | "retried" | "degraded" — what it took to complete
+    outcome: str = "ok"
+    retries: int = 0
+    failovers: int = 0
+    #: the architecture actually executed (differs from the planned one
+    #: only after graceful degradation)
+    executed_arch: Optional[ArchConfig] = None
+    #: simulated seconds wasted discovering failures (already included
+    #: in ``report.total_s``)
+    penalty_s: float = 0.0
 
     @property
     def latency_ms(self) -> float:
@@ -71,11 +91,20 @@ class DistributedExecutor:
     """Execute (arch, plan) on a cluster, for real."""
 
     def __init__(self, supernet: Supernet, cluster: Cluster,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 faults=None, health=None,
+                 resilience: Optional[ResilienceConfig] = None):
         self.net = supernet
         self.cluster = cluster
         self.telemetry = telemetry
-        self.transport = Transport(cluster, telemetry=telemetry)
+        self.faults = faults
+        self.health = health
+        self.resilience = (resilience if resilience is not None
+                           else (ResilienceConfig() if faults is not None
+                                 else None))
+        retry = self.resilience.retry if self.resilience is not None else None
+        self.transport = Transport(cluster, telemetry=telemetry,
+                                   faults=faults, health=health, retry=retry)
         if telemetry is not None:
             reg = telemetry.registry.child("executor")
             self._m_segments = reg.counter(
@@ -86,11 +115,16 @@ class DistributedExecutor:
             self._m_segment_wall = reg.histogram(
                 "segment_compute_wall_s",
                 help="wall-clock NumPy compute per segment")
+            self._m_failovers = reg.counter(
+                "failovers_total", help="mid-plan failovers")
+            self._m_degraded = reg.counter(
+                "degraded_total", help="gateway-degraded executions")
 
     def execute(self, x: np.ndarray, arch: ArchConfig,
                 plan: ExecutionPlan,
                 graph: Optional[ModelGraph] = None,
-                sim_time: float = 0.0) -> ExecutionResult:
+                sim_time: float = 0.0,
+                request_id: Optional[int] = None) -> ExecutionResult:
         """Run one batch through the partitioned submodel.
 
         ``x`` must be (N, 3, R, R) with R = arch.resolution.
@@ -101,6 +135,86 @@ class DistributedExecutor:
                 f"{arch.resolution}")
         graph = graph or build_graph(arch, self.net.space)
         plan.validate_for(graph, self.cluster.num_devices)
+        self.transport.request_id = request_id
+        if self.faults is None:
+            return self._run_plan(x, arch, plan, graph, sim_time, request_id)
+        return self._run_resilient(x, arch, plan, graph, sim_time, request_id)
+
+    # -- fault-aware outer loop -------------------------------------------
+    def _run_resilient(self, x: np.ndarray, arch: ArchConfig,
+                       plan: ExecutionPlan, graph: ModelGraph,
+                       sim_time: float,
+                       request_id: Optional[int]) -> ExecutionResult:
+        res = self.resilience
+        cur_arch, cur_plan, cur_graph = arch, plan, graph
+        excluded: set = set()
+        penalty = 0.0
+        retries = 0
+        failovers = 0
+        degraded = False
+        while True:
+            try:
+                result = self._run_plan(x, cur_arch, cur_plan, cur_graph,
+                                        sim_time + penalty, request_id)
+            except DeviceUnreachableError as e:
+                penalty += e.wasted_s
+                retries += self.transport.num_retries
+                if not res.failover:
+                    raise ExecutionFailedError(e.device, penalty,
+                                               retries) from e
+                excluded.add(e.device)
+                failovers += 1
+                if self.telemetry is not None:
+                    self._m_failovers.inc()
+                target = self._failover_target(excluded, sim_time)
+                if target is None and res.degradation:
+                    # Graceful degradation: smallest feasible submodel,
+                    # entirely on the gateway.  No cross-device sends, so
+                    # this attempt cannot fail again.
+                    cur_arch = replace(min_arch(self.net.space),
+                                       resolution=arch.resolution)
+                    cur_graph = build_graph(cur_arch, self.net.space)
+                    cur_plan = single_device_plan(cur_graph, device=0)
+                    degraded = True
+                    if self.telemetry is not None:
+                        self._m_degraded.inc()
+                else:
+                    dev = target if target is not None else 0
+                    cur_plan = single_device_plan(cur_graph, device=dev)
+                continue
+            retries += self.transport.num_retries
+            penalty += self.transport.wasted_s
+            result.retries = retries
+            result.failovers = failovers
+            result.executed_arch = cur_arch
+            result.penalty_s = penalty
+            if penalty:
+                result.report.total_s += penalty
+            result.outcome = ("degraded" if degraded
+                              else "retried" if (retries or failovers)
+                              else "ok")
+            return result
+
+    def _failover_target(self, excluded: set, now: float) -> Optional[int]:
+        """Best surviving remote candidate by static compute capability.
+
+        Consults only the runtime's own knowledge (exclusions from this
+        request's failures plus the circuit breaker) — never the fault
+        schedule.  Returns ``None`` when no remote candidate remains.
+        """
+        candidates = [d for d in range(1, self.cluster.num_devices)
+                      if d not in excluded
+                      and (self.health is None or self.health.allow(d, now))]
+        if not candidates:
+            return None
+        return max(candidates,
+                   key=lambda d: self.cluster.device(d).effective_flops)
+
+    # -- one plan attempt --------------------------------------------------
+    def _run_plan(self, x: np.ndarray, arch: ArchConfig,
+                  plan: ExecutionPlan, graph: ModelGraph,
+                  sim_time: float,
+                  request_id: Optional[int]) -> ExecutionResult:
         unit_ids = self.net.active_units(arch)
         if len(unit_ids) != len(graph):
             raise RuntimeError("unit/graph index misalignment")
@@ -114,7 +228,6 @@ class DistributedExecutor:
         # interval as well as its measured wall time.
         report = simulate_latency(graph, plan, self.cluster)
         done = report.per_block_done
-        start_msgs = 0
         partitioned = 0
         loc = 0  # device currently holding the activation
         for seg in _segments(plan):
@@ -122,9 +235,12 @@ class DistributedExecutor:
             units = [unit_ids[i] for i in range(seg.start, seg.stop)]
             seg_sim_start = sim_time + (done[seg.start - 1] if seg.start
                                         else 0.0)
+            attrs = dict(blocks=f"{seg.start}:{seg.stop}",
+                         tiles=bp.grid.ntiles)
+            if request_id is not None:
+                attrs["request"] = request_id
             with tracer.span("segment", sim_time=seg_sim_start,
-                             blocks=f"{seg.start}:{seg.stop}",
-                             tiles=bp.grid.ntiles) as sp:
+                             **attrs) as sp:
                 sp.set_sim_end(sim_time + done[seg.stop - 1])
                 if bp.grid.ntiles == 1:
                     dst = bp.devices[0]
@@ -159,6 +275,7 @@ class DistributedExecutor:
             comm_bytes=self.transport.total_bytes,
             num_messages=self.transport.num_messages,
             partitioned_segments=partitioned,
+            executed_arch=arch,
         )
 
     def _run_partitioned(self, x: np.ndarray, arch: ArchConfig,

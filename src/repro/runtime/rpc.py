@@ -5,15 +5,25 @@ The paper's devices exchange activation tensors over gRPC; here the
 via the cluster's link model — and whose payload really is the
 (optionally quantized) tensor, so precision loss is physically incurred,
 not just priced.
+
+Failure semantics (opt-in via ``faults=``): each cross-device send may
+be lost or the peer may be unreachable.  The sender only learns this
+when its ack timeout expires, so every failed attempt costs the
+attempt's timeout (exponential backoff across attempts), and the
+successful retry re-pays the full transfer time — retries show up in
+delivered-at timestamps, latency, and telemetry.  When every attempt
+times out, :class:`~repro.faults.resilience.DeviceUnreachableError`
+carries the wasted time for the caller to charge to the request.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..faults.resilience import DeviceUnreachableError, RetryPolicy
 from ..netsim.topology import Cluster
 from ..nn.quantize import QuantizedTensor, dequantize, quantize
 from ..telemetry import Telemetry
@@ -23,7 +33,12 @@ __all__ = ["Message", "Transport"]
 
 @dataclass
 class Message:
-    """One delivered payload with accounting metadata."""
+    """One delivered payload with accounting metadata.
+
+    ``request_id`` stitches cross-device messages back to the serving
+    request that caused them; ``retries`` counts the re-transmissions
+    this delivery needed (0 on a clean first attempt).
+    """
 
     src: int
     dst: int
@@ -31,16 +46,37 @@ class Message:
     nbytes: int
     sent_at: float
     delivered_at: float
+    request_id: Optional[int] = None
+    retries: int = 0
 
 
 class Transport:
-    """Message channel between cluster devices with full accounting."""
+    """Message channel between cluster devices with full accounting.
+
+    ``total_bytes``/``num_messages``/``num_retries`` are O(1) running
+    aggregates over the current log window; :meth:`reset_log` clears the
+    log *and* these aggregates together, so they always agree with
+    ``self.log``.  Telemetry counters (``transport_bytes_total``,
+    ``transport_retries_total``, ...) are monotonic by design — they
+    survive resets, tracking the unbounded-horizon totals.
+    """
 
     def __init__(self, cluster: Cluster,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 faults=None, health=None,
+                 retry: Optional[RetryPolicy] = None):
         self.cluster = cluster
         self.log: List[Message] = []
         self.telemetry = telemetry
+        self.faults = faults
+        self.health = health
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: request id stamped onto every message until changed
+        self.request_id: Optional[int] = None
+        self._total_bytes = 0
+        self._num_messages = 0
+        self._num_retries = 0
+        self._wasted_s = 0.0
         if telemetry is not None:
             self._reg = telemetry.registry.child("transport")
             self._m_bytes = self._reg.counter(
@@ -49,6 +85,10 @@ class Transport:
                 "messages_total", help="cross-device messages")
             self._m_transfer = self._reg.histogram(
                 "transfer_s", help="simulated per-message transfer time")
+            self._m_retries = self._reg.counter(
+                "retries_total", help="message re-transmissions")
+            self._m_unreachable = self._reg.counter(
+                "unreachable_total", help="sends that exhausted every retry")
 
     def _account(self, msg: Message, bits: Optional[int] = None) -> None:
         """Record one cross-device delivery in the telemetry registry."""
@@ -66,6 +106,38 @@ class Transport:
             self._reg.counter("quantized_messages_total",
                               help="tensor messages by wire precision",
                               bits=bits).inc()
+        if msg.retries:
+            self._m_retries.inc(msg.retries)
+
+    def _contend(self, src: int, dst: int, now: float) -> Tuple[float, int]:
+        """Fight the injected faults for one delivery.
+
+        Returns ``(wasted_s, retries)`` on eventual success; raises
+        :class:`DeviceUnreachableError` when every attempt times out.
+        The blamed device is the remote endpoint (the peer we cannot
+        reach — never the gateway, which is the caller itself).
+        """
+        faults = self.faults
+        policy = self.retry
+        wasted = 0.0
+        for attempt in range(policy.attempts):
+            delivered = (faults.reachable(src, dst)
+                         and not faults.message_lost(src, dst))
+            if delivered:
+                if self.health is not None:
+                    for d in (src, dst):
+                        if d != 0:
+                            self.health.record_success(d, now)
+                return wasted, attempt
+            wasted += policy.timeout_of(attempt)
+        device = dst if dst != 0 else src
+        self._num_retries += policy.max_retries
+        if self.health is not None:
+            self.health.record_failure(device, now)
+        if self.telemetry is not None:
+            self._m_retries.inc(policy.max_retries)
+            self._m_unreachable.inc()
+        raise DeviceUnreachableError(device, wasted, policy.max_retries)
 
     def send_tensor(self, x: np.ndarray, src: int, dst: int, bits: int,
                     now: float) -> Message:
@@ -79,33 +151,81 @@ class Transport:
         if src == dst:
             delivered = now
             payload = x
+            retries = 0
         else:
-            delivered = now + self.cluster.transfer_time(src, dst, nbytes)
+            wasted = 0.0
+            retries = 0
+            if self.faults is not None:
+                wasted, retries = self._contend(src, dst, now)
+            delivered = (now + wasted
+                         + self.cluster.transfer_time(src, dst, nbytes))
             payload = dequantize(qt)
-        msg = Message(src, dst, payload, nbytes, now, delivered)
+        msg = Message(src, dst, payload, nbytes, now, delivered,
+                      request_id=self.request_id, retries=retries)
         self.log.append(msg)
-        if self.telemetry is not None and src != dst:
-            self._account(msg, bits=bits)
+        if src != dst:
+            self._total_bytes += nbytes
+            self._num_messages += 1
+            self._num_retries += retries
+            if retries:
+                self._wasted_s += wasted
+            if self.telemetry is not None:
+                self._account(msg, bits=bits)
         return msg
 
     def send_control(self, src: int, dst: int, payload: Any, now: float,
                      nbytes: int = 256) -> Message:
         """Small control-plane message (strategy updates, probes)."""
-        delivered = (now if src == dst
-                     else now + self.cluster.transfer_time(src, dst, nbytes))
-        msg = Message(src, dst, payload, nbytes, now, delivered)
+        retries = 0
+        if src == dst:
+            delivered = now
+        else:
+            wasted = 0.0
+            if self.faults is not None:
+                wasted, retries = self._contend(src, dst, now)
+            delivered = (now + wasted
+                         + self.cluster.transfer_time(src, dst, nbytes))
+        msg = Message(src, dst, payload, nbytes, now, delivered,
+                      request_id=self.request_id, retries=retries)
         self.log.append(msg)
-        if self.telemetry is not None and src != dst:
-            self._account(msg)
+        if src != dst:
+            self._total_bytes += nbytes
+            self._num_messages += 1
+            self._num_retries += retries
+            if retries:
+                self._wasted_s += wasted
+            if self.telemetry is not None:
+                self._account(msg)
         return msg
 
     @property
     def total_bytes(self) -> int:
-        return sum(m.nbytes for m in self.log if m.src != m.dst)
+        return self._total_bytes
 
     @property
     def num_messages(self) -> int:
-        return sum(1 for m in self.log if m.src != m.dst)
+        return self._num_messages
+
+    @property
+    def num_retries(self) -> int:
+        return self._num_retries
+
+    @property
+    def wasted_s(self) -> float:
+        """Simulated seconds burned on timeouts by *successful* sends in
+        the current log window (give-up waste travels in the raised
+        :class:`DeviceUnreachableError` instead)."""
+        return self._wasted_s
 
     def reset_log(self) -> None:
+        """Clear the message log and its derived aggregates together.
+
+        ``total_bytes``/``num_messages``/``num_retries``/``wasted_s``
+        always describe the current ``log`` window; telemetry counters
+        are monotonic by design and deliberately unaffected.
+        """
         self.log.clear()
+        self._total_bytes = 0
+        self._num_messages = 0
+        self._num_retries = 0
+        self._wasted_s = 0.0

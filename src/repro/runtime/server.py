@@ -39,6 +39,10 @@ class RequestRecord:
     decision_s: float
     switch_s: float
     satisfied: bool
+    #: "ok" | "retried" | "degraded" | "failed"
+    outcome: str = "ok"
+    retries: int = 0
+    failovers: int = 0
 
     @property
     def queue_wait_s(self) -> float:
@@ -80,13 +84,35 @@ class ServingStats:
             return 0.0
         return sum(r.satisfied for r in self.records) / len(self.records)
 
+    def outcome_counts(self) -> dict:
+        """Requests by outcome ("ok"/"retried"/"degraded"/"failed")."""
+        counts = {"ok": 0, "retried": 0, "degraded": 0, "failed": 0}
+        for r in self.records:
+            counts[r.outcome] = counts.get(r.outcome, 0) + 1
+        return counts
+
+    @property
+    def completion_rate(self) -> float:
+        """Fraction of requests that produced a result (any outcome but
+        "failed")."""
+        if not self.records:
+            return 0.0
+        return (sum(r.outcome != "failed" for r in self.records)
+                / len(self.records))
+
     def summary(self) -> str:
-        return (f"{len(self.records)} requests, "
+        base = (f"{len(self.records)} requests, "
                 f"{self.throughput_rps:.1f} rps, "
                 f"p50={self.percentile_ms(50):.1f}ms "
                 f"p95={self.percentile_ms(95):.1f}ms, "
                 f"queue={self.mean_queue_wait_ms:.1f}ms, "
                 f"compliance={self.slo_compliance:.0%}")
+        counts = self.outcome_counts()
+        faulty = {k: v for k, v in counts.items() if k != "ok" and v}
+        if faulty:
+            detail = " ".join(f"{k}={v}" for k, v in sorted(faulty.items()))
+            base += f", outcomes: {detail}"
+        return base
 
 
 class InferenceServer:
@@ -114,6 +140,9 @@ class InferenceServer:
                 "e2e_s", help="simulated end-to-end latency")
             self._m_compliance = reg.gauge(
                 "slo_compliance", help="running SLO compliance rate")
+            # outcomes_total counters resolved once per outcome string
+            self._m_outcomes: dict = {}
+            self._reg = reg
             # snapshot gauge: refreshed at export time, not per request
             reg.add_collect_hook(self._sync_compliance)
 
@@ -130,6 +159,9 @@ class InferenceServer:
         ``condition_trace`` (optional) switches the true network state
         every ``trace_period_s`` of simulated time.
         """
+        if num_requests <= 0:
+            raise ValueError(
+                f"num_requests must be positive, got {num_requests}")
         stats = ServingStats()
         arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
                                                   num_requests))
@@ -147,24 +179,37 @@ class InferenceServer:
                              request=i) as root:
                 with tracer.span("queue", sim_time=arrival) as qs:
                     qs.set_sim_end(start)
-                record: "InferenceRecord" = self.system.infer(now=start)
+                record: "InferenceRecord" = self.system.infer(
+                    now=start, request_id=i)
                 service = (record.decision_time_s + record.switch_time_s
                            + record.latency_s)
                 finish = start + service
                 root.set_sim_end(finish)
                 root.annotate(satisfied=record.satisfied,
                               cache_hit=record.cache_hit)
+                if record.outcome != "ok":
+                    root.annotate(outcome=record.outcome)
             server_free = finish
             stats.records.append(RequestRecord(
                 arrival=arrival, start=start, finish=finish,
                 inference_s=record.latency_s,
                 decision_s=record.decision_time_s,
                 switch_s=record.switch_time_s,
-                satisfied=record.satisfied))
+                satisfied=record.satisfied,
+                outcome=record.outcome,
+                retries=record.retries,
+                failovers=record.failovers))
             if tel is not None:
                 self._m_requests.inc()
                 (self._m_satisfied if record.satisfied
                  else self._m_violated).inc()
                 self._m_queue.observe(start - arrival)
                 self._m_e2e.observe(finish - arrival)
+                counter = self._m_outcomes.get(record.outcome)
+                if counter is None:
+                    counter = self._reg.counter(
+                        "outcomes_total", help="requests by outcome",
+                        outcome=record.outcome)
+                    self._m_outcomes[record.outcome] = counter
+                counter.inc()
         return stats

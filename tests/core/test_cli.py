@@ -30,6 +30,15 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["fig99"])
 
+    def test_nonpositive_requests_errors_cleanly(self, capsys):
+        """--requests <= 0 must die with a usage error, not a traceback."""
+        for argv in (["telemetry", "--requests", "0"],
+                     ["chaos", "--requests", "-1"]):
+            with pytest.raises(SystemExit) as exc:
+                main(argv)
+            assert exc.value.code == 2
+            assert "--requests must be positive" in capsys.readouterr().err
+
     def test_telemetry_runs_and_exports(self, capsys, tmp_path):
         out = tmp_path / "telemetry.jsonl"
         prom = tmp_path / "metrics.prom"

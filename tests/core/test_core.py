@@ -148,7 +148,8 @@ class TestStrategyCache:
         assert len(cache) == 0
         assert cache.stats() == {
             "entries": 0, "capacity": 1, "hits": 0, "misses": 0,
-            "hit_rate": 0.0, "inserts": 0, "overwrites": 0, "evictions": 0}
+            "hit_rate": 0.0, "inserts": 0, "overwrites": 0, "evictions": 0,
+            "invalidations": 0}
 
     def test_stats_snapshot(self):
         cache = StrategyCache(capacity=8)

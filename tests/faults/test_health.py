@@ -1,0 +1,97 @@
+"""The DeviceHealth circuit breaker: closed -> open -> half-open -> closed."""
+
+import pytest
+
+from repro.faults import CircuitState, DeviceHealth
+from repro.telemetry import Telemetry
+
+
+class TestBreakerTransitions:
+    def test_opens_after_threshold_consecutive_failures(self):
+        h = DeviceHealth(3, failure_threshold=3, cooldown_s=2.0)
+        assert not h.record_failure(1, 0.0)
+        assert not h.record_failure(1, 0.1)
+        assert h.allow(1, 0.1)
+        assert h.record_failure(1, 0.2)  # third: newly opened
+        assert h.state(1, 0.2) is CircuitState.OPEN
+        assert not h.allow(1, 0.3)
+
+    def test_success_resets_consecutive_count(self):
+        h = DeviceHealth(2, failure_threshold=2)
+        h.record_failure(1, 0.0)
+        h.record_success(1, 0.1)
+        h.record_failure(1, 0.2)
+        assert h.state(1, 0.2) is CircuitState.CLOSED
+
+    def test_half_open_after_cooldown_then_close_on_success(self):
+        h = DeviceHealth(2, failure_threshold=1, cooldown_s=2.0)
+        h.record_failure(1, 0.0)
+        assert not h.allow(1, 1.9)
+        # cooldown expired: half-open admits a trial request
+        assert h.allow(1, 2.0)
+        assert h.state(1, 2.0) is CircuitState.HALF_OPEN
+        h.record_success(1, 2.1)
+        assert h.state(1, 2.1) is CircuitState.CLOSED
+
+    def test_half_open_failure_reopens_immediately(self):
+        h = DeviceHealth(2, failure_threshold=3, cooldown_s=1.0)
+        for t in (0.0, 0.1, 0.2):
+            h.record_failure(1, t)
+        assert h.state(1, 1.3) is CircuitState.HALF_OPEN
+        # one failed probe reopens regardless of the threshold
+        assert h.record_failure(1, 1.4)
+        assert h.state(1, 1.5) is CircuitState.OPEN
+        # and the cooldown restarted from the reopen
+        assert h.allow(1, 2.5)
+
+    def test_gateway_is_always_allowed(self):
+        h = DeviceHealth(2, failure_threshold=1)
+        assert not h.record_failure(0, 0.0)
+        assert h.allow(0, 0.1)
+        assert h.state(0, 0.1) is CircuitState.CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceHealth(0)
+        with pytest.raises(ValueError):
+            DeviceHealth(2, failure_threshold=0)
+        with pytest.raises(ValueError):
+            DeviceHealth(2, cooldown_s=-1.0)
+
+
+class TestDrainOpened:
+    def test_reports_each_opening_once(self):
+        h = DeviceHealth(3, failure_threshold=1, cooldown_s=1.0)
+        h.record_failure(1, 0.0)
+        h.record_failure(2, 0.0)
+        assert sorted(h.drain_opened()) == [1, 2]
+        assert h.drain_opened() == []
+        # reopen after a half-open probe fails -> drained again
+        h.state(1, 1.5)
+        h.record_failure(1, 1.5)
+        assert h.drain_opened() == [1]
+
+    def test_snapshot(self):
+        h = DeviceHealth(2, failure_threshold=1)
+        h.record_failure(1, 0.0)
+        assert h.snapshot(0.1) == {0: "closed", 1: "open"}
+
+
+class TestHealthTelemetry:
+    def test_counters_and_state_gauge(self):
+        tel = Telemetry()
+        h = DeviceHealth(2, failure_threshold=2, cooldown_s=1.0,
+                         telemetry=tel)
+        gauge = tel.registry.get("health_circuit_state", device="1")
+        assert gauge.value == 0.0
+        h.record_failure(1, 0.0)
+        h.record_failure(1, 0.1)
+        assert gauge.value == 2.0  # open
+        assert tel.registry.get("health_failures_total").value == 2
+        assert tel.registry.get("health_circuit_transitions_total",
+                                device="1", to="open").value == 1
+        h.state(1, 1.2)
+        assert gauge.value == 1.0  # half-open
+        h.record_success(1, 1.3)
+        assert gauge.value == 0.0
+        assert tel.registry.get("health_successes_total").value == 1

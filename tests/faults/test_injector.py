@@ -1,0 +1,106 @@
+"""The injector: deterministic world perturbation + ground-truth queries."""
+
+import pytest
+
+from repro.devices import rpi4
+from repro.faults import (DeviceCrash, FaultInjector, FaultSchedule,
+                          LinkDegradation, MessageLoss, Straggler)
+from repro.netsim import Cluster, NetworkCondition
+from repro.telemetry import Telemetry
+
+
+def _sched():
+    return FaultSchedule([
+        DeviceCrash(1.0, 2.0, device=1),
+        Straggler(1.0, 3.0, device=2, slowdown=2.0),
+        LinkDegradation(1.0, 2.0, device=2, bw_factor=0.5),
+    ])
+
+
+class TestAdvance:
+    def test_returns_newly_active_events(self):
+        inj = FaultInjector(_sched())
+        assert inj.advance(0.5) == []
+        started = inj.advance(1.5)
+        assert {e.kind for e in started} == {"crash", "straggler",
+                                             "degradation"}
+        assert inj.advance(1.7) == []  # still active, not new
+        assert inj.advance(2.5) == []  # crash+degradation ended
+
+    def test_ground_truth_queries(self):
+        inj = FaultInjector(_sched())
+        inj.advance(1.5)
+        assert inj.is_down(1)
+        assert not inj.is_down(2)
+        assert not inj.reachable(0, 1)
+        assert inj.reachable(0, 2)
+        assert inj.compute_scale() == {2: 2.0}
+        inj.advance(2.5)
+        assert not inj.is_down(1)
+
+
+class TestApplyTo:
+    def test_applies_degradation_and_scale(self):
+        base = NetworkCondition((100.0, 100.0), (10.0, 10.0))
+        cluster = Cluster([rpi4()] * 3, base)
+        inj = FaultInjector(_sched())
+        inj.advance(1.5)
+        inj.apply_to(cluster, base)
+        assert cluster.condition.bandwidths_mbps == (100.0, 50.0)
+        assert cluster.compute_scale == {2: 2.0}
+        inj.advance(3.5)
+        inj.apply_to(cluster, base)
+        assert cluster.condition is base
+        assert cluster.compute_scale == {}
+
+    def test_idempotent_between_transitions(self):
+        base = NetworkCondition((100.0, 100.0), (10.0, 10.0))
+        cluster = Cluster([rpi4()] * 3, base)
+        inj = FaultInjector(_sched())
+        inj.advance(1.5)
+        inj.apply_to(cluster, base)
+        cond = cluster.condition
+        inj.advance(1.6)
+        inj.apply_to(cluster, base)
+        assert cluster.condition is cond  # no rebuild: same active set
+
+    def test_base_condition_change_reapplies(self):
+        base = NetworkCondition((100.0, 100.0), (10.0, 10.0))
+        cluster = Cluster([rpi4()] * 3, base)
+        inj = FaultInjector(_sched())
+        inj.advance(1.5)
+        inj.apply_to(cluster, base)
+        newer = NetworkCondition((40.0, 40.0), (10.0, 10.0))
+        inj.apply_to(cluster, newer)
+        assert cluster.condition.bandwidths_mbps == (40.0, 20.0)
+
+
+class TestLossDraws:
+    def test_deterministic_in_seed(self):
+        sched = FaultSchedule([MessageLoss(0.0, 10.0, prob=0.5)])
+        a = FaultInjector(sched, seed=3)
+        b = FaultInjector(sched, seed=3)
+        a.advance(1.0)
+        b.advance(1.0)
+        draws_a = [a.message_lost(0, 1) for _ in range(50)]
+        draws_b = [b.message_lost(0, 1) for _ in range(50)]
+        assert draws_a == draws_b
+        assert any(draws_a) and not all(draws_a)
+
+    def test_no_loss_means_no_draw(self):
+        inj = FaultInjector(FaultSchedule([]))
+        assert not inj.message_lost(0, 1)
+        assert inj.loss_prob(0, 1) == 0.0
+
+
+class TestInjectorTelemetry:
+    def test_events_and_device_up_gauge(self):
+        tel = Telemetry()
+        inj = FaultInjector(_sched(), telemetry=tel)
+        up = tel.registry.get("faults_device_up", device="1")
+        assert up.value == 1.0
+        inj.advance(1.5)
+        assert tel.registry.get("faults_events_total", kind="crash").value == 1
+        assert up.value == 0.0
+        inj.advance(2.5)
+        assert up.value == 1.0

@@ -1,0 +1,149 @@
+"""Fault schedules: validation, point-in-time queries, generators."""
+
+import pytest
+
+from repro.faults import (DeviceCrash, FaultSchedule, LinkDegradation,
+                          MessageLoss, Partition, Straggler,
+                          chaos_schedule, crash_and_recover_schedule)
+from repro.netsim import NetworkCondition
+
+
+class TestEventValidation:
+    def test_window_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            DeviceCrash(5.0, 5.0, device=1)
+        with pytest.raises(ValueError):
+            DeviceCrash(-1.0, 2.0, device=1)
+
+    def test_gateway_cannot_crash(self):
+        with pytest.raises(ValueError):
+            DeviceCrash(0.0, 1.0, device=0)
+
+    def test_gateway_cannot_be_partitioned(self):
+        with pytest.raises(ValueError):
+            Partition(0.0, 1.0, devices=(0, 1))
+        with pytest.raises(ValueError):
+            Partition(0.0, 1.0, devices=())
+
+    def test_straggler_slowdown_at_least_one(self):
+        with pytest.raises(ValueError):
+            Straggler(0.0, 1.0, device=1, slowdown=0.5)
+
+    def test_degradation_factor_range(self):
+        with pytest.raises(ValueError):
+            LinkDegradation(0.0, 1.0, device=1, bw_factor=0.0)
+        with pytest.raises(ValueError):
+            LinkDegradation(0.0, 1.0, device=1, bw_factor=1.5)
+        with pytest.raises(ValueError):
+            LinkDegradation(0.0, 1.0, device=1, extra_delay_ms=-1.0)
+
+    def test_loss_prob_range(self):
+        with pytest.raises(ValueError):
+            MessageLoss(0.0, 1.0, prob=1.0)
+        with pytest.raises(ValueError):
+            MessageLoss(0.0, 1.0, prob=-0.1)
+
+    def test_active_window_is_half_open(self):
+        e = DeviceCrash(1.0, 2.0, device=1)
+        assert not e.active(0.99)
+        assert e.active(1.0)
+        assert e.active(1.99)
+        assert not e.active(2.0)
+
+
+class TestScheduleQueries:
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            FaultSchedule(["crash"])
+
+    def test_down_and_unreachable(self):
+        sched = FaultSchedule([
+            DeviceCrash(1.0, 2.0, device=1),
+            Partition(1.5, 3.0, devices=(2, 3)),
+        ])
+        assert sched.down_devices(1.2) == {1}
+        assert sched.unreachable_devices(1.7) == {1, 2, 3}
+        assert sched.unreachable_devices(2.5) == {2, 3}
+        assert sched.unreachable_devices(3.0) == frozenset()
+
+    def test_reachability(self):
+        sched = FaultSchedule([Partition(0.0, 1.0, devices=(2,))])
+        assert sched.reachable(0, 1, 0.5)
+        assert not sched.reachable(0, 2, 0.5)
+        # remote-remote relays through the switch the partition cut off
+        assert not sched.reachable(1, 2, 0.5)
+        assert sched.reachable(2, 2, 0.5)  # self-sends always deliver
+        assert sched.reachable(0, 2, 1.0)
+
+    def test_compute_scale_compounds(self):
+        sched = FaultSchedule([
+            Straggler(0.0, 2.0, device=1, slowdown=2.0),
+            Straggler(0.0, 2.0, device=1, slowdown=3.0),
+            Straggler(0.0, 2.0, device=2, slowdown=1.5),
+        ])
+        assert sched.compute_scale(1.0) == {1: 6.0, 2: 1.5}
+        assert sched.compute_scale(2.0) == {}
+
+    def test_loss_prob_compounds_over_crossed_links(self):
+        sched = FaultSchedule([MessageLoss(0.0, 1.0, prob=0.5)])
+        # gateway->remote crosses one remote link
+        assert sched.loss_prob(0, 1, 0.5) == pytest.approx(0.5)
+        # remote->remote crosses both
+        assert sched.loss_prob(1, 2, 0.5) == pytest.approx(0.75)
+        assert sched.loss_prob(1, 1, 0.5) == 0.0
+        assert sched.loss_prob(0, 1, 1.0) == 0.0
+
+    def test_loss_prob_per_device(self):
+        sched = FaultSchedule([MessageLoss(0.0, 1.0, prob=0.3, device=2)])
+        assert sched.loss_prob(0, 1, 0.5) == 0.0
+        assert sched.loss_prob(0, 2, 0.5) == pytest.approx(0.3)
+
+    def test_degrade(self):
+        base = NetworkCondition((100.0, 80.0), (10.0, 20.0))
+        sched = FaultSchedule([
+            LinkDegradation(0.0, 1.0, device=1, bw_factor=0.5,
+                            extra_delay_ms=15.0)])
+        out = sched.degrade(base, 0.5)
+        assert out.bandwidths_mbps == (50.0, 80.0)
+        assert out.delays_ms == (25.0, 20.0)
+        # inactive window: the exact same object comes back
+        assert sched.degrade(base, 2.0) is base
+
+    def test_degrade_ignores_out_of_range_device(self):
+        base = NetworkCondition((100.0,), (10.0,))
+        sched = FaultSchedule([
+            LinkDegradation(0.0, 1.0, device=5, bw_factor=0.5)])
+        assert sched.degrade(base, 0.5) is base
+
+    def test_horizon(self):
+        assert FaultSchedule([]).horizon == 0.0
+        sched = FaultSchedule([DeviceCrash(1.0, 4.0, device=1),
+                               Straggler(0.0, 2.0, device=1)])
+        assert sched.horizon == 4.0
+
+
+class TestGenerators:
+    def test_crash_and_recover(self):
+        sched = crash_and_recover_schedule(device=2, crash_at=1.0,
+                                           recover_at=3.0)
+        assert sched.down_devices(2.0) == {2}
+        assert sched.down_devices(3.0) == frozenset()
+
+    def test_chaos_is_deterministic_in_seed(self):
+        a = chaos_schedule(3, 30.0, seed=7)
+        b = chaos_schedule(3, 30.0, seed=7)
+        c = chaos_schedule(3, 30.0, seed=8)
+        assert a.events == b.events
+        assert a.events != c.events
+
+    def test_chaos_events_start_within_horizon(self):
+        sched = chaos_schedule(2, 20.0, seed=0, crash_rate_hz=0.2,
+                               straggler_rate_hz=0.2, loss_prob=0.05)
+        assert len(sched) > 0
+        assert all(e.start < 20.0 for e in sched)
+
+    def test_chaos_validates_inputs(self):
+        with pytest.raises(ValueError):
+            chaos_schedule(0, 10.0)
+        with pytest.raises(ValueError):
+            chaos_schedule(1, 0.0)

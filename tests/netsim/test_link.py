@@ -33,6 +33,19 @@ class TestLink:
         l3 = link.with_conditions(delay_ms=5)
         assert l3.bandwidth_mbps == 100 and l3.delay_ms == 5
 
+    def test_with_conditions_revalidates(self):
+        """Updated conditions re-run the invariants: a fault schedule's
+        ``bw_factor`` can never drive a link to zero or below."""
+        link = Link(100, 10)
+        with pytest.raises(ValueError):
+            link.with_conditions(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            link.with_conditions(bandwidth_mbps=-5)
+        with pytest.raises(ValueError):
+            link.with_conditions(delay_ms=-1)
+        # the original is untouched by the failed update
+        assert link.bandwidth_mbps == 100 and link.delay_ms == 10
+
     def test_loopback_free(self):
         assert LOOPBACK.transfer_time(10 ** 9) < 1e-2
 

@@ -73,6 +73,24 @@ class TestTransport:
         t.reset_log()
         assert t.num_messages == 0
 
+    def test_reset_log_resets_every_aggregate(self, cluster):
+        """Regression: aggregates must stay consistent with ``log``
+        across resets — a reset window starts from a true zero."""
+        t = Transport(cluster)
+        x = np.ones((1, 1, 8, 8))
+        t.send_tensor(x, 0, 1, 32, 0.0)
+        t.send_control(0, 1, "ping", 0.0)
+        first_bytes = t.total_bytes
+        assert first_bytes > 0 and t.num_messages == 2 and len(t.log) == 2
+        t.reset_log()
+        assert (t.total_bytes, t.num_messages, t.num_retries,
+                t.wasted_s) == (0, 0, 0, 0.0)
+        assert t.log == []
+        # the next window accumulates from scratch, not on stale totals
+        t.send_tensor(x, 0, 1, 32, 0.0)
+        assert t.num_messages == 1
+        assert t.total_bytes == first_bytes - 256  # minus the control msg
+
 
 class TestReconfig:
     def test_switch_tracks_active_arch(self):

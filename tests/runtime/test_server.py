@@ -45,6 +45,24 @@ class TestInferenceServer:
         with pytest.raises(ValueError):
             InferenceServer(_system(), arrival_rate_hz=0.0)
 
+    def test_invalid_num_requests(self):
+        server = InferenceServer(_system(), arrival_rate_hz=2.0)
+        with pytest.raises(ValueError, match="num_requests"):
+            server.run(num_requests=0)
+        with pytest.raises(ValueError, match="num_requests"):
+            server.run(num_requests=-3)
+
+    def test_outcome_counts_and_completion(self):
+        server = InferenceServer(_system(), arrival_rate_hz=2.0, seed=1)
+        stats = server.run(num_requests=8)
+        counts = stats.outcome_counts()
+        assert counts["ok"] == 8  # no faults injected
+        assert counts["failed"] == 0
+        assert stats.completion_rate == 1.0
+        assert all(r.outcome == "ok" and r.retries == 0 and r.failovers == 0
+                   for r in stats.records)
+        assert "outcomes" not in stats.summary()  # healthy run stays terse
+
     def test_serves_all_requests(self):
         server = InferenceServer(_system(), arrival_rate_hz=2.0, seed=1)
         stats = server.run(num_requests=12)

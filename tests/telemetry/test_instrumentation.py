@@ -126,6 +126,26 @@ class TestTransportInstrumentation:
                        bits="8").value == 1
         assert reg.get("transport_transfer_s").count == 3
 
+    def test_send_control_accounting(self):
+        """Control messages are charged like any other cross-device
+        traffic: default 256 bytes, per-link counters, transfer time."""
+        cluster = Cluster([rpi4(), rpi4()],
+                          NetworkCondition((100.0,), (10.0,)))
+        tel = Telemetry()
+        t = Transport(cluster, telemetry=tel)
+        t.send_control(src=0, dst=1, payload="strategy", now=0.0)
+        t.send_control(src=1, dst=0, payload="ack", now=1.0, nbytes=64)
+        reg = tel.registry
+        assert reg.get("transport_messages_total").value == 2
+        assert reg.get("transport_bytes_total").value == 256 + 64
+        assert reg.get("transport_link_bytes_total", link="0-1").value == 256
+        assert reg.get("transport_link_bytes_total", link="1-0").value == 64
+        assert t.total_bytes == 256 + 64
+        # telemetry counters are monotonic: reset_log leaves them alone
+        t.reset_log()
+        assert reg.get("transport_bytes_total").value == 256 + 64
+        assert t.total_bytes == 0
+
     def test_local_delivery_not_charged(self):
         cluster = Cluster([rpi4(), rpi4()],
                           NetworkCondition((100.0,), (10.0,)))
