@@ -96,6 +96,43 @@ def _chaos(args) -> str:
             f"retries={rep.retries}, failovers={rep.failovers}")
 
 
+def _serve(args) -> str:
+    """Serve a Poisson stream; ``--batch N`` enables the batched pipeline."""
+    from dataclasses import replace
+
+    from .eval.serving_load import (ServingLoadConfig, _make_system,
+                                    _trace, format_serving_load,
+                                    run_serving_load)
+    from .runtime import BatchingInferenceServer, BatchPolicy, InferenceServer
+
+    # --compare keeps the scenario's default batch size unless overridden;
+    # the single-server path defaults to plain FIFO.
+    batch = args.batch if args.batch is not None else (
+        ServingLoadConfig().max_batch if args.compare else 1)
+    cfg = ServingLoadConfig(seed=args.seed, slo_ms=args.slo_ms,
+                            arrival_rate_hz=args.rate,
+                            max_batch=batch,
+                            max_wait_s=args.wait_ms / 1e3)
+    if args.requests is not None:
+        cfg = replace(cfg, num_requests=args.requests)
+    if args.compare:
+        return format_serving_load(run_serving_load(cfg))
+    system = _make_system(cfg)
+    if batch > 1:
+        server = BatchingInferenceServer(
+            system, arrival_rate_hz=cfg.arrival_rate_hz,
+            policy=BatchPolicy(max_batch=cfg.max_batch,
+                               max_wait_s=cfg.max_wait_s),
+            seed=cfg.seed + 1)
+    else:
+        server = InferenceServer(system, arrival_rate_hz=cfg.arrival_rate_hz,
+                                 seed=cfg.seed + 1)
+    stats = server.run(num_requests=cfg.num_requests,
+                       condition_trace=_trace(cfg),
+                       trace_period_s=cfg.trace_period_s)
+    return stats.summary()
+
+
 def _telemetry(args) -> str:
     """Run an instrumented serving scenario; dump report + exports."""
     from .core import SLO, Murmuration, SearchDecisionEngine
@@ -142,6 +179,8 @@ _COMMANDS = {
     "vit": (_vit, "extension: ViT patch-parallel inference"),
     "chaos": (_chaos,
               "fault injection: crash-and-recover serving comparison"),
+    "serve": (_serve,
+              "serving loop under load; --batch N for the batched pipeline"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
 }
@@ -165,6 +204,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="latency SLO in milliseconds")
             p.add_argument("--seed", type=int, default=0,
                            help="seed for arrivals/noise/fault draws")
+        elif name == "serve":
+            p.add_argument("--requests", type=int, default=None,
+                           help="requests to serve (default 120)")
+            p.add_argument("--rate", type=float, default=40.0,
+                           help="Poisson arrival rate (req/s)")
+            p.add_argument("--slo-ms", type=float, default=300.0,
+                           help="latency SLO in milliseconds")
+            p.add_argument("--batch", type=int, default=None,
+                           help="max batch size (1 = plain FIFO; "
+                                "--compare defaults to 8)")
+            p.add_argument("--wait-ms", type=float, default=0.0,
+                           help="batch fill timeout in milliseconds")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for arrivals/noise/trace draws")
+            p.add_argument("--compare", action="store_true",
+                           help="run fifo vs batched vs batched-serial")
         elif name == "telemetry":
             p.add_argument("--requests", type=int, default=60,
                            help="requests to serve")
@@ -180,6 +235,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if getattr(args, "requests", None) is not None and args.requests <= 0:
         parser.error(f"--requests must be positive, got {args.requests}")
+    if getattr(args, "batch", None) is not None and args.batch < 1:
+        parser.error(f"--batch must be positive, got {args.batch}")
     if args.command in (None, "list"):
         print("available figures:")
         for name, (_, help_text) in _COMMANDS.items():

@@ -2,7 +2,7 @@
 cache, and the system facade."""
 
 from .decision import DecisionRecord, RLDecisionEngine, SearchDecisionEngine
-from .murmuration import InferenceRecord, Murmuration
+from .murmuration import BatchInferenceResult, InferenceRecord, Murmuration
 from .slo import SLO
 from .strategy import Strategy
 from .strategy_cache import StrategyCache
@@ -16,4 +16,5 @@ __all__ = [
     "SearchDecisionEngine",
     "Murmuration",
     "InferenceRecord",
+    "BatchInferenceResult",
 ]

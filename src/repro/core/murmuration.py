@@ -57,7 +57,23 @@ from .slo import SLO
 from .strategy import Strategy
 from .strategy_cache import StrategyCache
 
-__all__ = ["InferenceRecord", "Murmuration"]
+__all__ = ["BatchInferenceResult", "InferenceRecord", "Murmuration"]
+
+
+@dataclass
+class _PlanState:
+    """Failover state carried across one batch's items (plan-only mode).
+
+    When item *k* discovers a crash and re-plans, items *k+1..n* of the
+    same batch execute the replanned (arch, plan) directly — the batch
+    fails over as a unit instead of re-paying discovery per item —
+    while each item still reports its own outcome/retries.
+    """
+
+    arch: object
+    plan: object
+    degraded: bool = False
+    replanned: bool = False
 
 
 @dataclass
@@ -84,6 +100,36 @@ class InferenceRecord:
     @property
     def completed(self) -> bool:
         return self.outcome != "failed"
+
+
+@dataclass
+class BatchInferenceResult:
+    """Outcome of one served batch (one amortized decision + switch).
+
+    Item records carry their *amortized* share of the decision/switch
+    cost (total / batch size), so summing per-item accounting over a
+    serving run conserves the real simulated time spent.  The absolute
+    batch-level times live here.
+    """
+
+    items: List[InferenceRecord]
+    #: full (un-amortized) decision-engine latency for the batch
+    decision_time_s: float
+    #: full (un-amortized) model switch time for the batch
+    switch_time_s: float
+    #: simulated time the decision started (the ``now`` of the call)
+    decision_start_s: float
+    #: simulated time the first item began executing
+    exec_start_s: float
+    #: absolute completion time of each item, in batch order
+    item_finish_s: List[float]
+    #: completion time of the last item (== the final ``_now``)
+    finish_s: float
+    cache_hit: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
 
 
 class Murmuration:
@@ -230,13 +276,16 @@ class Murmuration:
         if self.slo is None:
             raise RuntimeError("no SLO set; call set_slo() first")
         condition = condition or self.observed_condition()
-        cached = self.cache.get(self.slo, condition)
+        # peek() first: a cached strategy routing through an open circuit
+        # must not count as a hit — the request pays a full decision, so
+        # the lookup below records an honest miss after the discard.
+        cached = self.cache.peek(self.slo, condition)
         if cached is not None and self._blocked_devices(cached.plan):
             # Routes through an open circuit: invalidate, decide afresh.
             self.cache.discard(self.slo, condition)
             if self.telemetry is not None:
                 self._m_cache_invalidated.inc()
-            cached = None
+        cached = self.cache.get(self.slo, condition)
         if cached is not None:
             record = DecisionRecord(cached, 0.0, "cache")
         else:
@@ -283,7 +332,9 @@ class Murmuration:
             raise RuntimeError("no SLO set; call set_slo() first")
         computed = 0
         for cond in conditions:
-            if self.cache.get(self.slo, cond) is None:
+            # peek(): warm-up probes are not serving lookups and must
+            # not poison the miss count behind core_cache_hit_rate.
+            if self.cache.peek(self.slo, cond) is None:
                 rec = self.engine.decide(self.slo, cond)
                 if rec.strategy is not None:
                     self.cache.put(self.slo, cond, rec.strategy)
@@ -345,11 +396,11 @@ class Murmuration:
                 accuracy = strategy.expected_accuracy
             elif self.executor is not None and x is not None:
                 (latency, accuracy, outcome, retries, failovers,
-                 logits) = self._execute_faulty(x, strategy, sim_t,
-                                                request_id)
+                 logits, _) = self._execute_faulty(x, strategy, sim_t,
+                                                   request_id)
             else:
                 (latency, accuracy, outcome, retries,
-                 failovers) = self._plan_only_faulty(strategy)
+                 failovers, _) = self._plan_only_faulty(strategy)
             sp.add_sim(latency)
             if outcome != "ok":
                 sp.annotate(outcome=outcome)
@@ -363,7 +414,11 @@ class Murmuration:
             switch_time_s=switch_time, logits=logits,
             outcome=outcome, retries=retries, failovers=failovers)
         self.records.append(record)
-        self._now += latency
+        # The request occupied the runtime for its *full* service time;
+        # advancing by execution latency alone would drift the fault
+        # schedule and health cooldowns behind simulated time for every
+        # caller that does not pass ``now=`` explicitly.
+        self._now += decision.decision_time_s + switch_time + latency
         if self.telemetry is not None:
             self._m_inference_s.observe(latency)
             if switched:
@@ -384,16 +439,184 @@ class Murmuration:
                     self._m_cache_invalidated.inc(n)
         return record
 
+    def infer_batch(self, xs: Optional[Sequence[Optional[np.ndarray]]] = None,
+                    batch_size: Optional[int] = None,
+                    now: Optional[float] = None,
+                    request_ids: Optional[Sequence[int]] = None,
+                    exec_not_before: Optional[float] = None,
+                    ) -> BatchInferenceResult:
+        """Serve a batch of requests with one amortized decision.
+
+        All items share a single decision (one probe round, one cache
+        lookup or engine run) and a single model switch — sound because
+        every item sees the same SLO and the same observed condition,
+        i.e. the whole batch snaps to one :class:`StrategyCache` cell.
+        Items then execute back to back; under fault injection each item
+        reports its own outcome/retries, and a mid-batch failover
+        carries forward so the batch re-plans as a unit.
+
+        Clock model: the decision starts at ``now`` (default: the
+        current ``_now``); the switch begins once the decision is done
+        *and* the executor is free (``exec_not_before``, which lets a
+        pipelined server overlap this batch's decision with the previous
+        batch's execution); ``_now`` ends at the last item's completion.
+        With ``batch_size=1`` and ``exec_not_before=None`` the clock and
+        accounting reduce exactly to :meth:`infer`.
+        """
+        if xs is not None:
+            n = len(xs)
+            if batch_size is not None and batch_size != n:
+                raise ValueError(
+                    f"batch_size={batch_size} disagrees with len(xs)={n}")
+        else:
+            n = 1 if batch_size is None else int(batch_size)
+        if n < 1:
+            raise ValueError(f"batch size must be positive, got {n}")
+        if request_ids is not None and len(request_ids) != n:
+            raise ValueError("request_ids must match the batch size")
+        if now is not None:
+            self._now = now
+        start = self._now
+        if self.faults is not None:
+            self.faults.advance(start)
+            self.faults.apply_to(self.cluster, self._base_condition)
+        tracer = Telemetry.tracer_of(self.telemetry)
+        with tracer.span("decision", sim_time=start) as sp:
+            decision = self.decide()
+            sp.add_sim(decision.decision_time_s)
+            sp.annotate(engine=decision.engine, batch=n)
+        if decision.strategy is None:
+            raise RuntimeError(
+                "no strategy satisfies the SLO under current conditions")
+        strategy = decision.strategy
+        decision_end = start + decision.decision_time_s
+        model_free = (decision_end if exec_not_before is None
+                      else max(decision_end, exec_not_before))
+        switch_time = 0.0
+        switched = False
+        if self.reconfig is not None and (
+                self.reconfig.active_arch is None
+                or self.reconfig.active_arch != strategy.arch):
+            with tracer.span("switch", sim_time=model_free) as sp:
+                switch_time = self.reconfig.switch(
+                    strategy.arch).modeled_time_s
+                switched = True
+                sp.add_sim(switch_time)
+        exec_start = model_free + switch_time
+        cache_hit = decision.engine == "cache"
+        amortized_decision = decision.decision_time_s / n
+        amortized_switch = switch_time / n
+
+        items: List[InferenceRecord] = []
+        finishes: List[float] = []
+        sim_t = exec_start
+        plan_state: Optional[_PlanState] = None
+        exec_strategy = strategy   # executable fault mode: carried plan
+        carried_degraded = False
+        base_latency: Optional[float] = None
+        for idx in range(n):
+            x = xs[idx] if xs is not None else None
+            rid = request_ids[idx] if request_ids is not None else None
+            logits = None
+            outcome = "ok"
+            retries = 0
+            failovers = 0
+            with tracer.span("execute", sim_time=sim_t) as sp:
+                if rid is not None:
+                    sp.annotate(request=rid)
+                if self.faults is None:
+                    if self.executor is not None and x is not None:
+                        result: ExecutionResult = self.executor.execute(
+                            x, strategy.arch, strategy.plan, sim_time=sim_t,
+                            request_id=rid)
+                        latency = result.report.total_s
+                        logits = result.logits
+                    else:
+                        if base_latency is None:
+                            graph = build_graph(strategy.arch, self.space)
+                            base_latency = simulate_latency(
+                                graph, strategy.plan, self.cluster).total_s
+                        latency = base_latency
+                    accuracy = strategy.expected_accuracy
+                elif self.executor is not None and x is not None:
+                    (latency, accuracy, outcome, retries, failovers,
+                     logits, executed) = self._execute_faulty(
+                        x, exec_strategy, sim_t, rid)
+                    if carried_degraded and outcome == "ok":
+                        outcome = "degraded"
+                    if executed is not None and (
+                            executed[0] != exec_strategy.arch
+                            or executed[1] != exec_strategy.plan):
+                        # Batch fails over as a unit: later items keep
+                        # the replanned (arch, plan).
+                        new_arch, new_plan = executed
+                        exec_strategy = Strategy(
+                            new_arch, new_plan,
+                            exec_strategy.expected_latency_s,
+                            arch_accuracy(new_arch, self.space)
+                            - plan_accuracy_penalty(new_plan))
+                        if outcome == "degraded":
+                            carried_degraded = True
+                else:
+                    (latency, accuracy, outcome, retries, failovers,
+                     plan_state) = self._plan_only_faulty(
+                        strategy, plan_state)
+                sp.add_sim(latency)
+                if outcome != "ok":
+                    sp.annotate(outcome=outcome)
+            satisfied = (outcome != "failed"
+                         and (self.slo.satisfied_by(latency, accuracy)
+                              if self.slo else True))
+            record = InferenceRecord(
+                latency_s=latency, accuracy=accuracy, satisfied=satisfied,
+                strategy=strategy, cache_hit=cache_hit,
+                decision_time_s=amortized_decision,
+                switch_time_s=amortized_switch, logits=logits,
+                outcome=outcome, retries=retries, failovers=failovers)
+            self.records.append(record)
+            items.append(record)
+            sim_t = sim_t + latency
+            finishes.append(sim_t)
+            if self.telemetry is not None:
+                self._m_inference_s.observe(latency)
+                if retries:
+                    self._m_retries.inc(retries)
+                if failovers:
+                    self._m_failovers.inc(failovers)
+                if outcome == "degraded":
+                    self._m_degraded.inc()
+                elif outcome == "failed":
+                    self._m_failed.inc()
+        self._now = sim_t
+        if self.telemetry is not None and switched:
+            self._m_switch_s.observe(switch_time)
+        if self.health is not None:
+            for dev in self.health.drain_opened():
+                n_inv = self.cache.invalidate(
+                    lambda s, d=dev: d in s.plan.devices_used())
+                if self.telemetry is not None and n_inv:
+                    self._m_cache_invalidated.inc(n_inv)
+        return BatchInferenceResult(
+            items=items, decision_time_s=decision.decision_time_s,
+            switch_time_s=switch_time, decision_start_s=start,
+            exec_start_s=exec_start, item_finish_s=finishes,
+            finish_s=sim_t, cache_hit=cache_hit)
+
     # -- fault-aware execution paths ---------------------------------------
     def _execute_faulty(self, x: np.ndarray, strategy: Strategy,
                         sim_t: float, request_id: Optional[int]) -> Tuple:
-        """Executable mode: the executor owns retry/failover/degradation."""
+        """Executable mode: the executor owns retry/failover/degradation.
+
+        The last tuple element is the ``(arch, plan)`` actually executed
+        (None on failure) so batched callers can carry a failover
+        forward across the remaining items.
+        """
         try:
             result = self.executor.execute(
                 x, strategy.arch, strategy.plan, sim_time=sim_t,
                 request_id=request_id)
         except ExecutionFailedError as e:
-            return e.wasted_s, 0.0, "failed", e.retries, 0, None
+            return e.wasted_s, 0.0, "failed", e.retries, 0, None, None
         if result.outcome == "degraded":
             accuracy = (arch_accuracy(result.executed_arch, self.space)
                         - plan_accuracy_penalty(single_device_plan(
@@ -401,25 +624,33 @@ class Murmuration:
         else:
             accuracy = strategy.expected_accuracy
         return (result.report.total_s, accuracy, result.outcome,
-                result.retries, result.failovers, result.logits)
+                result.retries, result.failovers, result.logits,
+                (result.executed_arch, result.executed_plan))
 
-    def _plan_only_faulty(self, strategy: Strategy) -> Tuple:
+    def _plan_only_faulty(self, strategy: Strategy,
+                          state: Optional[_PlanState] = None) -> Tuple:
         """Plan-only mode: simulate the data plane's fault experience.
 
         Reachability checks here stand in for the sends the executor
         would have attempted — each discovered failure costs the full
         retry schedule, exactly like a timed-out transport send.
+
+        ``state`` (optional) is the :class:`_PlanState` a previous item
+        of the same batch ended in; the returned tuple's last element is
+        the state this item ended in.
         """
         res = self.resilience
         faults = self.faults
         health = self.health
         now = self._now
-        arch, plan = strategy.arch, strategy.plan
+        if state is None:
+            state = _PlanState(strategy.arch, strategy.plan)
+        arch, plan = state.arch, state.plan
         penalty = 0.0
         retries = 0
         failovers = 0
-        degraded = False
-        replanned = False
+        degraded = state.degraded
+        replanned = state.replanned
         excluded: set = set()
         while True:
             remotes = [d for d in plan.devices_used() if d != 0]
@@ -444,14 +675,16 @@ class Murmuration:
                                else "retried" if (retries or failovers)
                                else "ok")
                     return (report.total_s + penalty, accuracy, outcome,
-                            retries, failovers)
+                            retries, failovers,
+                            _PlanState(arch, plan, degraded, replanned))
                 dead = exhausted
             else:
                 penalty += res.retry.give_up_cost()
                 retries += res.retry.max_retries
             health.record_failure(dead, now)
             if not res.failover:
-                return penalty, 0.0, "failed", retries, failovers
+                return (penalty, 0.0, "failed", retries, failovers,
+                        _PlanState(arch, plan, degraded, replanned))
             excluded.add(dead)
             failovers += 1
             candidates = [d for d in range(1, self.cluster.num_devices)

@@ -61,6 +61,17 @@ class StrategyCache:
         self.hits += 1
         return strategy
 
+    def peek(self, slo: SLO, condition: NetworkCondition) -> Optional[Strategy]:
+        """Look up an entry without touching statistics or LRU order.
+
+        For probes that are not real serving lookups: validity checks
+        before committing to a hit (a cached strategy may route through
+        an open circuit) and precompute warm-up scans.  Keeping these
+        out of ``hits``/``misses`` is what lets ``hit_rate`` mean "the
+        fraction of served decisions answered from cache".
+        """
+        return self._store.get(self._key(slo, condition))
+
     def put(self, slo: SLO, condition: NetworkCondition,
             strategy: Strategy) -> None:
         key = self._key(slo, condition)

@@ -20,6 +20,12 @@ from .chaos import (
     run_chaos,
 )
 from .murmuration_method import MurmurationOracle, lattice_archs, policy_method
+from .serving_load import (
+    ServingLoadConfig,
+    ServingLoadReport,
+    format_serving_load,
+    run_serving_load,
+)
 from .reporting import (
     accuracy_grid_to_csv,
     compliance_to_csv,
@@ -53,6 +59,10 @@ __all__ = [
     "chaos_crash_schedule",
     "format_chaos",
     "run_chaos",
+    "ServingLoadConfig",
+    "ServingLoadReport",
+    "format_serving_load",
+    "run_serving_load",
     "MurmurationOracle",
     "lattice_archs",
     "policy_method",

@@ -70,6 +70,23 @@ class NetworkMonitor:
                 help="|smoothed delay - true delay| / true delay")
 
     # -- probing -------------------------------------------------------------
+    def _record(self, m: Measurement) -> Measurement:
+        """Ingest one measurement and update telemetry error gauges."""
+        self._ingest(m)
+        if self.telemetry is not None:
+            cond = self.cluster.condition
+            true_bw = cond.bandwidths_mbps[m.device - 1]
+            true_delay = cond.delays_ms[m.device - 1]
+            self._m_probes[m.source].inc()
+            if true_bw > 0:
+                self._m_bw_err.observe(
+                    abs(self._smoothed_bw[m.device] - true_bw) / true_bw)
+            if true_delay > 0:
+                self._m_delay_err.observe(
+                    abs(self._smoothed_delay[m.device] - true_delay)
+                    / true_delay)
+        return m
+
     def _observe(self, device: int, now: float, relative_noise: float,
                  source: str) -> Measurement:
         cond = self.cluster.condition
@@ -77,18 +94,7 @@ class NetworkMonitor:
         true_delay = cond.delays_ms[device - 1]
         bw = true_bw * float(self._rng.lognormal(0.0, relative_noise))
         delay = true_delay * float(self._rng.lognormal(0.0, relative_noise))
-        m = Measurement(device, bw, delay, now, source)
-        self._ingest(m)
-        if self.telemetry is not None:
-            self._m_probes[source].inc()
-            if true_bw > 0:
-                self._m_bw_err.observe(
-                    abs(self._smoothed_bw[device] - true_bw) / true_bw)
-            if true_delay > 0:
-                self._m_delay_err.observe(
-                    abs(self._smoothed_delay[device] - true_delay)
-                    / true_delay)
-        return m
+        return self._record(Measurement(device, bw, delay, now, source))
 
     def active_probe(self, device: int, now: float = 0.0) -> Measurement:
         """Ping + short bandwidth probe against one remote device."""
@@ -98,10 +104,33 @@ class NetworkMonitor:
 
     def passive_observe(self, device: int, nbytes: float, elapsed_s: float,
                         now: float = 0.0) -> Measurement:
-        """Derive link state from a timed real transfer."""
+        """Derive link state from a timed real transfer.
+
+        Unlike an active probe — which samples ground truth with noise —
+        a passive observation is computed from what actually happened on
+        the wire: ``nbytes`` delivered in ``elapsed_s``.  The fixed
+        per-message cost (propagation delay + RPC overhead) is backed
+        out using the monitor's own smoothed delay estimate (link-model
+        fallback before the first probe), and the remainder prices the
+        payload: ``bw = nbytes * 8 / payload_time``.  The delay sample
+        still comes from the ack timing (noisy, 2x active noise —
+        transfers share the link with inference traffic).
+        """
         if elapsed_s <= 0:
             raise ValueError("elapsed time must be positive")
-        return self._observe(device, now, self.noise * 2.0, "passive")
+        if not (1 <= device < self.cluster.num_devices):
+            raise ValueError(f"device {device} is not a remote device")
+        link = self.cluster.link_to(device)
+        est_delay_ms = self._smoothed_delay.get(device, link.delay_ms)
+        overhead_s = (est_delay_ms + link.rpc_overhead_ms) / 1e3
+        # A transfer faster than the modeled fixed cost still carries
+        # signal; keep a sliver of the elapsed time so bw stays finite.
+        payload_s = max(elapsed_s - overhead_s, 0.01 * elapsed_s)
+        bw_mbps = nbytes * 8.0 / payload_s / 1e6
+        true_delay = self.cluster.condition.delays_ms[device - 1]
+        delay = true_delay * float(self._rng.lognormal(0.0, self.noise * 2.0))
+        return self._record(
+            Measurement(device, bw_mbps, delay, now, "passive"))
 
     def probe_all(self, now: float = 0.0) -> List[Measurement]:
         return [self.active_probe(d, now)

@@ -1,6 +1,8 @@
 """Stage 3 runtime: simulated clock, RPC substitute, the distributed
 executor, model reconfiguration and the monitoring predictor."""
 
+from .batching import (BatchedServingStats, BatchingInferenceServer,
+                       BatchPolicy, BatchRecord)
 from .clock import SimulatedClock
 from .executor import DistributedExecutor, ExecutionResult
 from .predictor import LinearPredictor, MonitoringPredictor
@@ -22,4 +24,8 @@ __all__ = [
     "InferenceServer",
     "RequestRecord",
     "ServingStats",
+    "BatchingInferenceServer",
+    "BatchPolicy",
+    "BatchRecord",
+    "BatchedServingStats",
 ]

@@ -61,6 +61,10 @@ class ExecutionResult:
     #: the architecture actually executed (differs from the planned one
     #: only after graceful degradation)
     executed_arch: Optional[ArchConfig] = None
+    #: the plan actually executed (differs from the planned one after a
+    #: failover or degradation); batch serving reuses it so one batch
+    #: fails over as a unit instead of re-discovering per item
+    executed_plan: Optional[ExecutionPlan] = None
     #: simulated seconds wasted discovering failures (already included
     #: in ``report.total_s``)
     penalty_s: float = 0.0
@@ -276,6 +280,7 @@ class DistributedExecutor:
             num_messages=self.transport.num_messages,
             partitioned_segments=partitioned,
             executed_arch=arch,
+            executed_plan=plan,
         )
 
     def _run_partitioned(self, x: np.ndarray, arch: ArchConfig,

@@ -151,6 +151,37 @@ class InferenceServer:
         if total:
             self._m_compliance.value = self._m_satisfied.value / total
 
+    def _apply_trace(self, condition_trace, trace_period_s: float,
+                     start: float) -> None:
+        """Switch the true world to the trace cell the request *starts*
+        in.
+
+        Indexed by service start, not arrival: under queueing a request
+        executes later than it arrived, and the runtime must see the
+        network as it is then, not a stale snapshot.
+        """
+        if condition_trace:
+            idx = min(int(start / trace_period_s), len(condition_trace) - 1)
+            self.system.update_condition(condition_trace[idx])
+
+    def _observe_request(self, stats: ServingStats,
+                         rr: RequestRecord) -> None:
+        """Append one finished request and update serving telemetry."""
+        stats.records.append(rr)
+        if self.telemetry is not None:
+            self._m_requests.inc()
+            (self._m_satisfied if rr.satisfied
+             else self._m_violated).inc()
+            self._m_queue.observe(rr.queue_wait_s)
+            self._m_e2e.observe(rr.end_to_end_s)
+            counter = self._m_outcomes.get(rr.outcome)
+            if counter is None:
+                counter = self._reg.counter(
+                    "outcomes_total", help="requests by outcome",
+                    outcome=rr.outcome)
+                self._m_outcomes[rr.outcome] = counter
+            counter.inc()
+
     def run(self, num_requests: int,
             condition_trace: Optional[Sequence[NetworkCondition]] = None,
             trace_period_s: float = 1.0) -> ServingStats:
@@ -166,31 +197,29 @@ class InferenceServer:
         arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
                                                   num_requests))
         server_free = 0.0
-        tel = self.telemetry
-        tracer = Telemetry.tracer_of(tel)
+        tracer = Telemetry.tracer_of(self.telemetry)
         for i, arrival in enumerate(arrivals):
-            if condition_trace:
-                idx = min(int(arrival / trace_period_s),
-                          len(condition_trace) - 1)
-                self.system.update_condition(condition_trace[idx])
             arrival = float(arrival)
             start = max(arrival, server_free)
+            self._apply_trace(condition_trace, trace_period_s, start)
             with tracer.span("request", sim_time=arrival,
                              request=i) as root:
                 with tracer.span("queue", sim_time=arrival) as qs:
                     qs.set_sim_end(start)
                 record: "InferenceRecord" = self.system.infer(
                     now=start, request_id=i)
-                service = (record.decision_time_s + record.switch_time_s
-                           + record.latency_s)
-                finish = start + service
+                # Summed left-to-right in pipeline order (decision,
+                # switch, execute) so the batched server's size-1
+                # degenerate case reproduces these floats bit-exactly.
+                finish = (start + record.decision_time_s
+                          + record.switch_time_s + record.latency_s)
                 root.set_sim_end(finish)
                 root.annotate(satisfied=record.satisfied,
                               cache_hit=record.cache_hit)
                 if record.outcome != "ok":
                     root.annotate(outcome=record.outcome)
             server_free = finish
-            stats.records.append(RequestRecord(
+            self._observe_request(stats, RequestRecord(
                 arrival=arrival, start=start, finish=finish,
                 inference_s=record.latency_s,
                 decision_s=record.decision_time_s,
@@ -199,17 +228,4 @@ class InferenceServer:
                 outcome=record.outcome,
                 retries=record.retries,
                 failovers=record.failovers))
-            if tel is not None:
-                self._m_requests.inc()
-                (self._m_satisfied if record.satisfied
-                 else self._m_violated).inc()
-                self._m_queue.observe(start - arrival)
-                self._m_e2e.observe(finish - arrival)
-                counter = self._m_outcomes.get(record.outcome)
-                if counter is None:
-                    counter = self._reg.counter(
-                        "outcomes_total", help="requests by outcome",
-                        outcome=record.outcome)
-                    self._m_outcomes[record.outcome] = counter
-                counter.inc()
         return stats

@@ -151,6 +151,26 @@ class TestStrategyCache:
             "hit_rate": 0.0, "inserts": 0, "overwrites": 0, "evictions": 0,
             "invalidations": 0}
 
+    def test_peek_does_not_touch_stats_or_lru(self):
+        """Regression: probing lookups (precompute warm-up, blocked-plan
+        checks) must not count as serving hits/misses or refresh LRU."""
+        cache = StrategyCache(capacity=2)
+        slo = SLO.latency(0.1)
+        s = _strategy()
+        c_a = NetworkCondition((50.0,), (10.0,))
+        c_b = NetworkCondition((150.0,), (10.0,))
+        c_c = NetworkCondition((300.0,), (10.0,))
+        assert cache.peek(slo, c_a) is None
+        cache.put(slo, c_a, s)
+        assert cache.peek(slo, c_a) is s
+        assert cache.hits == 0 and cache.misses == 0
+        # peek() must not refresh recency: A stays oldest and is evicted
+        cache.put(slo, c_b, s)
+        cache.peek(slo, c_a)
+        cache.put(slo, c_c, s)
+        assert cache.peek(slo, c_a) is None
+        assert cache.peek(slo, c_b) is s
+
     def test_stats_snapshot(self):
         cache = StrategyCache(capacity=8)
         slo = SLO.latency(0.1)
@@ -232,6 +252,32 @@ class TestMurmurationFacade:
         assert not r1.cache_hit
         assert r2.cache_hit
         assert r2.decision_time_s == 0.0
+
+    def test_infer_advances_clock_by_full_service_time(self, devices):
+        """Regression: the clock drifted by decision+switch time per
+        request — it must advance by the *whole* service time, or fault
+        schedules and condition traces slip out of alignment."""
+        sys = self._system(devices, use_predictor=False)
+        rec = sys.infer(now=0.0)
+        assert rec.decision_time_s > 0.0  # first request really decides
+        assert sys._now == pytest.approx(
+            rec.decision_time_s + rec.switch_time_s + rec.latency_s)
+        before = sys._now
+        rec2 = sys.infer()
+        assert sys._now == pytest.approx(
+            before + rec2.decision_time_s + rec2.switch_time_s
+            + rec2.latency_s)
+
+    def test_precompute_does_not_poison_cache_stats(self, devices):
+        """Regression: warm-up probes counted as serving misses, so
+        core_cache_hit_rate underreported after every precompute."""
+        sys = self._system(devices, use_predictor=False)
+        conds = [NetworkCondition((bw,), (20.0,)) for bw in (50.0, 200.0)]
+        assert sys.precompute(conds) == 2
+        assert sys.cache.misses == 0 and sys.cache.hits == 0
+        # precompute again: already warm, still no stat movement
+        assert sys.precompute(conds) == 0
+        assert sys.cache.misses == 0 and sys.cache.hits == 0
 
     def test_requires_slo(self, devices):
         sys = self._system(devices)

@@ -45,6 +45,28 @@ class TestMonitor:
         with pytest.raises(ValueError):
             mon.passive_observe(1, nbytes=1e6, elapsed_s=0.0)
 
+    def test_passive_derives_bandwidth_from_transfer(self, cluster):
+        """Regression: passive_observe ignored nbytes/elapsed_s and just
+        sampled ground truth — a timed transfer must price the link."""
+        mon = NetworkMonitor(cluster, seed=7)
+        # 1 MB in 2 s is ~4 Mbps no matter what the true link claims
+        slow = mon.passive_observe(1, nbytes=1e6, elapsed_s=2.0)
+        assert slow.bandwidth_mbps < 10.0
+        # the same payload in 10 ms is a fast link
+        fast = mon.passive_observe(1, nbytes=1e6, elapsed_s=0.05)
+        assert fast.bandwidth_mbps > slow.bandwidth_mbps * 5
+
+    def test_slow_transfer_lowers_smoothed_estimate(self, cluster):
+        mon = NetworkMonitor(cluster, noise=0.01, seed=8)
+        for _ in range(10):
+            mon.active_probe(1)
+        before = mon.estimate().bandwidths_mbps[0]
+        assert before == pytest.approx(100.0, rel=0.1)
+        for _ in range(5):
+            mon.passive_observe(1, nbytes=1e6, elapsed_s=2.0)
+        after = mon.estimate().bandwidths_mbps[0]
+        assert after < before * 0.7
+
     def test_history_and_series(self, cluster):
         mon = NetworkMonitor(cluster, seed=0)
         for t in range(5):

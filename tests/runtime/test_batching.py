@@ -1,0 +1,246 @@
+"""Batched serving: formation, amortization, overlap, and FIFO parity."""
+
+import numpy as np
+import pytest
+
+from repro.core import SLO, Murmuration, SearchDecisionEngine
+from repro.devices import desktop_gtx1080, jetson_class, rpi4
+from repro.eval.serving_load import _PinnedTimeEngine
+from repro.faults import DeviceCrash, FaultInjector, FaultSchedule
+from repro.nas import MBV3_SPACE
+from repro.netsim import NetworkCondition, TraceConfig, step_trace
+from repro.runtime import (BatchedServingStats, BatchingInferenceServer,
+                           BatchPolicy, InferenceServer)
+
+_DT = 0.02  # pinned per-miss decision cost: deterministic clocks
+
+
+def _system(slo_ms=200.0, seed=0, faults=None, decision_s=_DT):
+    devices = [rpi4(), desktop_gtx1080(), jetson_class()]
+    engine = SearchDecisionEngine(MBV3_SPACE, devices, n_random_archs=4,
+                                  seed=seed)
+    if decision_s is not None:
+        engine = _PinnedTimeEngine(engine, decision_s)
+    return Murmuration(
+        MBV3_SPACE, devices, NetworkCondition((300.0, 150.0), (10.0, 20.0)),
+        engine, slo=SLO.latency_ms(slo_ms), use_predictor=False,
+        monitor_noise=0.0, seed=seed, faults=faults)
+
+
+class TestBatchPolicy:
+    def test_invalid_max_batch(self):
+        with pytest.raises(ValueError, match="max_batch"):
+            BatchPolicy(max_batch=0)
+
+    def test_invalid_max_wait(self):
+        with pytest.raises(ValueError, match="max_wait_s"):
+            BatchPolicy(max_wait_s=-0.1)
+
+
+class TestBatchFormation:
+    def test_accumulates_under_load(self):
+        server = BatchingInferenceServer(
+            _system(), arrival_rate_hz=60.0,
+            policy=BatchPolicy(max_batch=8), seed=1)
+        stats = server.run(num_requests=32)
+        assert isinstance(stats, BatchedServingStats)
+        assert len(stats.records) == 32
+        assert sum(b.size for b in stats.batches) == 32
+        assert stats.mean_batch_size > 1.0
+        assert all(b.size <= 8 for b in stats.batches)
+
+    def test_timeout_grows_underfull_batches(self):
+        """At a rate too low to queue, only the fill timer batches."""
+        eager = BatchingInferenceServer(
+            _system(seed=2), arrival_rate_hz=3.0,
+            policy=BatchPolicy(max_batch=4, max_wait_s=0.0), seed=3)
+        patient = BatchingInferenceServer(
+            _system(seed=2), arrival_rate_hz=3.0,
+            policy=BatchPolicy(max_batch=4, max_wait_s=1.0), seed=3)
+        a = eager.run(num_requests=16)
+        b = patient.run(num_requests=16)
+        assert a.mean_batch_size == 1.0
+        assert b.mean_batch_size > 1.0
+        # an under-full batch that waited dispatches when its timer
+        # fires: one fill-timeout from its oldest member's arrival
+        waited = [r for r in b.batches if 1 < r.size < 4]
+        assert any(
+            rec.close_s == pytest.approx(
+                min(r.arrival for r in b.records
+                    if abs(r.start - rec.decision_start_s) < 1e-12) + 1.0)
+            for rec in waited)
+
+    def test_records_sorted_and_consistent(self):
+        server = BatchingInferenceServer(
+            _system(seed=4), arrival_rate_hz=40.0,
+            policy=BatchPolicy(max_batch=6), seed=4)
+        stats = server.run(num_requests=24)
+        for r in stats.records:
+            assert r.finish >= r.start >= r.arrival - 1e-12
+
+
+class TestAmortizedAccounting:
+    def test_items_share_one_decision(self):
+        server = BatchingInferenceServer(
+            _system(seed=5), arrival_rate_hz=80.0,
+            policy=BatchPolicy(max_batch=8), seed=5)
+        stats = server.run(num_requests=24)
+        i = 0
+        for b in stats.batches:
+            members = stats.records[i:i + b.size]
+            i += b.size
+            # per-item share sums back to the batch's real cost
+            assert sum(r.decision_s for r in members) == pytest.approx(
+                b.decision_s)
+            assert sum(r.switch_s for r in members) == pytest.approx(
+                b.switch_s)
+            assert all(r.decision_s == pytest.approx(b.decision_s / b.size)
+                       for r in members)
+        assert stats.amortized_decisions == sum(
+            b.size - 1 for b in stats.batches)
+        assert stats.amortized_decisions > 0
+
+    def test_batch_clock_is_sequential_within_batch(self):
+        server = BatchingInferenceServer(
+            _system(seed=6), arrival_rate_hz=80.0,
+            policy=BatchPolicy(max_batch=8), seed=6)
+        stats = server.run(num_requests=16)
+        for b in stats.batches:
+            assert b.exec_start_s >= (b.decision_start_s + b.decision_s
+                                      + b.switch_s - 1e-12)
+            assert b.finish_s >= b.exec_start_s
+        members = {}
+        for r in stats.records:
+            members.setdefault(r.start, []).append(r)
+        for group in members.values():
+            # items execute back to back after the shared exec start
+            finishes = sorted(r.finish for r in group)
+            assert finishes == [r.finish for r in sorted(
+                group, key=lambda r: r.finish)]
+
+
+class TestOverlap:
+    def _run(self, overlap, seed=7):
+        # a condition changing every 50ms of simulated time guarantees
+        # every batch's decision misses the cache — real decision cost
+        # to hide on every batch
+        trace = step_trace(TraceConfig(num_remote=2, steps=120, seed=seed,
+                                       bw_range=(50.0, 400.0),
+                                       delay_range=(5.0, 50.0)), period=1)
+        server = BatchingInferenceServer(
+            _system(seed=seed), arrival_rate_hz=80.0,
+            policy=BatchPolicy(max_batch=8, overlap=overlap), seed=seed)
+        return server.run(num_requests=32, condition_trace=trace,
+                          trace_period_s=0.05)
+
+    def test_decision_overlaps_previous_execution(self):
+        stats = self._run(overlap=True)
+        assert stats.overlap_saved_s > 0.0
+        pipelined = [
+            (prev, nxt) for prev, nxt in zip(stats.batches, stats.batches[1:])
+            if nxt.decision_start_s < prev.finish_s - 1e-12]
+        assert pipelined  # some decision ran under the previous batch
+        for prev, nxt in zip(stats.batches, stats.batches[1:]):
+            # executor is never double-booked ...
+            assert nxt.exec_start_s >= prev.finish_s - 1e-12
+            # ... and neither is the decision engine
+            assert nxt.decision_start_s >= (prev.decision_start_s
+                                            + prev.decision_s - 1e-12)
+
+    def test_fully_hidden_decision_saves_its_whole_cost(self):
+        stats = self._run(overlap=True)
+        hidden = [
+            nxt for prev, nxt in zip(stats.batches, stats.batches[1:])
+            if not nxt.cache_hit
+            and nxt.decision_start_s + nxt.decision_s <= prev.finish_s]
+        assert hidden
+        for b in hidden:
+            assert b.overlap_saved_s == pytest.approx(_DT)
+
+    def test_serial_mode_never_overlaps(self):
+        stats = self._run(overlap=False)
+        assert stats.overlap_saved_s == 0.0
+        for prev, nxt in zip(stats.batches, stats.batches[1:]):
+            assert nxt.decision_start_s >= prev.finish_s - 1e-12
+
+
+class TestBatchedFaults:
+    def test_per_item_outcomes_preserved(self):
+        # both remotes die mid-run: the gateway must degrade, nothing
+        # may fail, and every item keeps its own outcome
+        schedule = FaultSchedule([DeviceCrash(0.5, 4.0, device=1),
+                                  DeviceCrash(0.5, 4.0, device=2)])
+        faults = FaultInjector(schedule, seed=8)
+        server = BatchingInferenceServer(
+            _system(seed=8, slo_ms=400.0, faults=faults),
+            arrival_rate_hz=40.0, policy=BatchPolicy(max_batch=4), seed=8)
+        stats = server.run(num_requests=20)
+        assert len(stats.records) == 20
+        counts = stats.outcome_counts()
+        assert counts["failed"] == 0
+        assert stats.completion_rate == 1.0
+        assert counts["degraded"] + counts["retried"] > 0
+        assert sum(counts.values()) == 20
+
+    def test_batch_fails_over_as_a_unit(self):
+        """Once an item in a batch degrades, the rest of the batch
+        stays on the degraded plan instead of re-discovering the dead
+        devices item by item."""
+        schedule = FaultSchedule([DeviceCrash(0.0, 60.0, device=1),
+                                  DeviceCrash(0.0, 60.0, device=2)])
+        faults = FaultInjector(schedule, seed=9)
+        server = BatchingInferenceServer(
+            _system(seed=9, slo_ms=400.0, faults=faults),
+            arrival_rate_hz=80.0, policy=BatchPolicy(max_batch=6), seed=9)
+        stats = server.run(num_requests=18)
+        big = [b for b in stats.batches if b.size > 1]
+        assert big
+        i = 0
+        for b in stats.batches:
+            members = stats.records[i:i + b.size]
+            i += b.size
+            degraded = [m for m in members if m.outcome == "degraded"]
+            if degraded and b.size > 1:
+                first = members.index(degraded[0])
+                # everyone after the discovering item rides the carried
+                # plan: degraded outcome, no fresh retries of its own
+                for m in members[first + 1:]:
+                    assert m.outcome == "degraded"
+                    assert m.retries == 0
+
+
+class TestFifoParity:
+    def test_batch_size_one_is_bit_identical_to_fifo(self):
+        """max_batch=1 must reproduce the FIFO server exactly — same
+        floats, same flags, every field of every record."""
+        fifo = InferenceServer(_system(seed=10), arrival_rate_hz=20.0,
+                               seed=11)
+        batched = BatchingInferenceServer(
+            _system(seed=10), arrival_rate_hz=20.0,
+            policy=BatchPolicy(max_batch=1), seed=11)
+        a = fifo.run(num_requests=25)
+        b = batched.run(num_requests=25)
+        assert a.records == b.records  # frozen dataclass: exact equality
+
+    def test_batch_size_one_parity_with_trace(self):
+        trace = step_trace(TraceConfig(num_remote=2, steps=20, seed=12,
+                                       bw_range=(50.0, 400.0),
+                                       delay_range=(5.0, 50.0)), period=2)
+        fifo = InferenceServer(_system(seed=12), arrival_rate_hz=30.0,
+                               seed=13)
+        batched = BatchingInferenceServer(
+            _system(seed=12), arrival_rate_hz=30.0,
+            policy=BatchPolicy(max_batch=1), seed=13)
+        a = fifo.run(num_requests=20, condition_trace=trace,
+                     trace_period_s=0.5)
+        b = batched.run(num_requests=20, condition_trace=trace,
+                        trace_period_s=0.5)
+        assert a.records == b.records
+
+    def test_summary_mentions_batches(self):
+        server = BatchingInferenceServer(
+            _system(seed=14), arrival_rate_hz=60.0,
+            policy=BatchPolicy(max_batch=8), seed=14)
+        stats = server.run(num_requests=16)
+        assert "batches" in stats.summary()
+        assert "amortized" in stats.summary()

@@ -102,3 +102,21 @@ class TestInferenceServer:
         stats = server.run(num_requests=10, condition_trace=trace,
                            trace_period_s=1.0)
         assert len(stats.records) == 10
+
+    def test_trace_indexed_by_service_start_not_arrival(self):
+        """Regression: the trace was indexed by arrival time, so queued
+        requests executed against a stale snapshot of the world.  A
+        burst that arrives in the first trace cell but drains past it
+        must see the later cells."""
+        cond_a = NetworkCondition((300.0,), (10.0,))
+        cond_b = NetworkCondition((30.0,), (80.0,))
+        system = _system(slo_ms=400.0, seed=7)
+        server = InferenceServer(system, arrival_rate_hz=200.0, seed=7)
+        stats = server.run(num_requests=12, condition_trace=[cond_a, cond_b],
+                           trace_period_s=0.5)
+        # the burst arrives well inside cell 0 but queues past it
+        assert all(r.arrival < 0.5 for r in stats.records)
+        assert stats.records[-1].start > 0.5
+        # the world the last request executed in is cell 1, which an
+        # arrival-indexed lookup would never have applied
+        assert system.cluster.condition == cond_b
