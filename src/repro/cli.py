@@ -9,6 +9,8 @@ over :mod:`repro.eval` (the pytest benchmarks add assertions on top).
     python -m repro.cli fig17
     python -m repro.cli vit
     python -m repro.cli telemetry --requests 60 --out telemetry.jsonl
+    python -m repro.cli record --requests 40 --out run.jsonl
+    python -m repro.cli replay run.jsonl --verify
 """
 
 from __future__ import annotations
@@ -168,6 +170,66 @@ def _telemetry(args) -> str:
     return report + "\n" + "\n".join(footer)
 
 
+def _record(args) -> str:
+    """Capture a seeded serving-load run as a replayable recording."""
+    from dataclasses import replace
+
+    from .eval.serving_load import ServingLoadConfig, run_serving_load
+    from .telemetry import Telemetry, write_recordings
+
+    cfg = ServingLoadConfig(seed=args.seed, slo_ms=args.slo_ms,
+                            arrival_rate_hz=args.rate,
+                            max_batch=args.batch,
+                            max_wait_s=args.wait_ms / 1e3)
+    if args.requests is not None:
+        cfg = replace(cfg, num_requests=args.requests)
+    tel = Telemetry() if args.timelines else None
+    reports = run_serving_load(cfg, telemetry=tel, record=True)
+    lines = write_recordings(
+        args.out, [rep.recorder for rep in reports.values()])
+    summaries = [f"  {rep.name}: {rep.stats.summary()}"
+                 for rep in reports.values()]
+    return ("\n".join(summaries)
+            + f"\nwrote {lines} recording lines "
+            f"({len(reports)} runs) to {args.out}")
+
+
+def _replay(args) -> str:
+    """Re-derive serving stats from a recording; optionally verify."""
+    from .eval.replay import (format_replay, load_recordings, rerecord,
+                              replay_serving_load, replay_stats,
+                              verify_invariants)
+    from .eval.serving_load import format_serving_load
+
+    try:
+        recs = load_recordings(args.recording)
+    except OSError as exc:
+        raise SystemExit(f"cannot read recording: {exc}")
+    if not recs:
+        raise SystemExit(f"{args.recording}: no recorded runs found")
+    lines = [format_replay(recs)]
+    if all(rec.scenario == "serving_load" for rec in recs):
+        lines.append("")
+        lines.append(format_serving_load(replay_serving_load(recs)))
+    problems = []
+    for rec in recs:
+        problems += [f"{rec.variant}: {p}" for p in verify_invariants(rec)]
+    if problems:
+        raise SystemExit("recording fails serving invariants:\n  "
+                         + "\n  ".join(problems))
+    lines.append(f"\ninvariants ok across {len(recs)} runs")
+    if args.verify:
+        for rec in recs:
+            fresh = rerecord(rec)
+            if replay_stats(fresh.recording()) != replay_stats(rec):
+                raise SystemExit(
+                    f"verify failed: live re-run of {rec.scenario}/"
+                    f"{rec.variant} disagrees with the recording")
+        lines.append(f"verified: live re-runs match all "
+                     f"{len(recs)} recorded runs")
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "fig13": (_fig13, "accuracy grid @ latency SLO (augmented)"),
     "fig14": (_fig14, "swarm accuracy vs bandwidth per SLO"),
@@ -183,6 +245,12 @@ _COMMANDS = {
               "serving loop under load; --batch N for the batched pipeline"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
+    "record": (_record,
+               "capture a seeded serving-load run as a replayable JSONL "
+               "recording"),
+    "replay": (_replay,
+               "re-derive serving stats/figures from a recording; "
+               "--verify re-runs live and diffs"),
 }
 
 
@@ -231,6 +299,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="JSONL export path")
             p.add_argument("--prom", default=None,
                            help="also write Prometheus text to this path")
+        elif name == "record":
+            p.add_argument("--requests", type=int, default=None,
+                           help="requests to serve (default 120)")
+            p.add_argument("--rate", type=float, default=40.0,
+                           help="Poisson arrival rate (req/s)")
+            p.add_argument("--slo-ms", type=float, default=300.0,
+                           help="latency SLO in milliseconds")
+            p.add_argument("--batch", type=int, default=8,
+                           help="max batch size for the batched variants")
+            p.add_argument("--wait-ms", type=float, default=0.0,
+                           help="batch fill timeout in milliseconds")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for arrivals/noise/trace draws")
+            p.add_argument("--timelines", action="store_true",
+                           help="also capture per-request span timelines "
+                                "(batched variant)")
+            p.add_argument("--out", default="recording.jsonl",
+                           help="recording JSONL path")
+        elif name == "replay":
+            p.add_argument("recording",
+                           help="recording JSONL path (from `record`)")
+            p.add_argument("--verify", action="store_true",
+                           help="re-run the recorded scenario live and "
+                                "fail on any stats mismatch")
     args = parser.parse_args(argv)
 
     if getattr(args, "requests", None) is not None and args.requests <= 0:

@@ -144,13 +144,16 @@ class Murmuration:
                  monitor_noise: float = 0.03, seed: int = 0,
                  telemetry: Optional[Telemetry] = None,
                  faults: Optional[FaultInjector] = None,
-                 resilience: Optional[ResilienceConfig] = None):
+                 resilience: Optional[ResilienceConfig] = None,
+                 recorder=None):
         self.space = space
         self.cluster = Cluster(list(devices), condition)
         self.engine = decision_engine
         self.slo = slo
         self.cache = cache if cache is not None else StrategyCache()
         self.telemetry = telemetry
+        #: optional RunRecorder capturing decisions for record/replay
+        self.recorder = recorder
         self.monitor = NetworkMonitor(self.cluster, noise=monitor_noise,
                                       seed=seed, telemetry=telemetry)
         self.predictor = (MonitoringPredictor(self.cluster.num_devices - 1)
@@ -313,6 +316,10 @@ class Murmuration:
                 self._m_decisions[record.engine] = counter
             counter.inc()
             self._m_decision_s.observe(record.decision_time_s)
+        if self.recorder is not None:
+            self.recorder.on_decision(self._now, record.engine,
+                                      record.decision_time_s,
+                                      record.engine == "cache")
         return record
 
     def _sync_cache_metrics(self) -> None:

@@ -20,6 +20,14 @@ from .chaos import (
     run_chaos,
 )
 from .murmuration_method import MurmurationOracle, lattice_archs, policy_method
+from .replay import (
+    format_replay,
+    load_recordings,
+    replay_serving_load,
+    replay_stats,
+    rerecord,
+    verify_invariants,
+)
 from .serving_load import (
     ServingLoadConfig,
     ServingLoadReport,
@@ -66,6 +74,12 @@ __all__ = [
     "MurmurationOracle",
     "lattice_archs",
     "policy_method",
+    "format_replay",
+    "load_recordings",
+    "replay_serving_load",
+    "replay_stats",
+    "rerecord",
+    "verify_invariants",
     "augmented_devices",
     "swarm_devices",
     "augmented_cluster",

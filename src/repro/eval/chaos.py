@@ -17,7 +17,7 @@ so a fixed configuration reproduces identical numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional
 
 from ..core.decision import DecisionRecord, SearchDecisionEngine
@@ -30,6 +30,7 @@ from ..faults.schedule import DeviceCrash, FaultSchedule, LinkDegradation
 from ..nas.search_space import MBV3_SPACE
 from ..netsim.topology import NetworkCondition
 from ..runtime.server import InferenceServer, ServingStats
+from ..telemetry.recorder import RunRecorder
 
 __all__ = ["ChaosConfig", "ChaosReport", "chaos_crash_schedule",
            "run_chaos", "format_chaos"]
@@ -67,6 +68,8 @@ class ChaosReport:
     recovery_s: Optional[float]
     retries: int
     failovers: int
+    #: populated when the run was captured (``record=True``)
+    recorder: Optional[RunRecorder] = None
 
     @property
     def compliance(self) -> float:
@@ -117,7 +120,8 @@ def _recovery_s(stats: ServingStats, horizon: float) -> Optional[float]:
 
 def _run_variant(name: str, cfg: ChaosConfig,
                  resilience: Optional[ResilienceConfig],
-                 static: bool, telemetry=None) -> ChaosReport:
+                 static: bool, telemetry=None,
+                 record: bool = False) -> ChaosReport:
     devices = [rpi4(), desktop_gtx1080(), jetson_class()]
     condition = NetworkCondition((80.0, 60.0), (20.0, 30.0))
     schedule = chaos_crash_schedule(cfg)
@@ -127,38 +131,50 @@ def _run_variant(name: str, cfg: ChaosConfig,
                                   seed=cfg.seed)
     if static:
         engine = _StaticEngine(engine, condition)
+    recorder = (RunRecorder("chaos", variant=name, config=asdict(cfg))
+                if record else None)
     system = Murmuration(
         MBV3_SPACE, devices, condition, engine,
         slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
         monitor_noise=0.02, seed=cfg.seed, telemetry=telemetry,
-        faults=faults, resilience=resilience)
+        faults=faults, resilience=resilience, recorder=recorder)
     server = InferenceServer(system, arrival_rate_hz=cfg.arrival_rate_hz,
-                             seed=cfg.seed + 1, telemetry=telemetry)
+                             seed=cfg.seed + 1, telemetry=telemetry,
+                             recorder=recorder)
     stats = server.run(num_requests=cfg.num_requests)
+    if recorder is not None:
+        if telemetry is not None:
+            recorder.capture_timelines(telemetry.timelines)
+        recorder.finish(stats)
     return ChaosReport(
         name=name, stats=stats,
         recovery_s=_recovery_s(stats, schedule.horizon),
         retries=sum(r.retries for r in stats.records),
-        failovers=sum(r.failovers for r in stats.records))
+        failovers=sum(r.failovers for r in stats.records),
+        recorder=recorder)
 
 
 def run_chaos(cfg: ChaosConfig = ChaosConfig(),
-              telemetry=None) -> Dict[str, ChaosReport]:
+              telemetry=None,
+              record: bool = False) -> Dict[str, ChaosReport]:
     """Run all three variants on the identical world; keyed by name.
 
     ``telemetry`` (optional) instruments only the resilient variant —
     attaching one registry to all three would conflate their counters.
+    ``record=True`` attaches a RunRecorder per variant (note: chaos
+    decision times are honestly measured, so chaos recordings replay
+    exactly but are not byte-stable across hosts).
     """
     return {
         "murmuration": _run_variant(
             "murmuration", cfg, ResilienceConfig(), static=False,
-            telemetry=telemetry),
+            telemetry=telemetry, record=record),
         "static": _run_variant(
-            "static", cfg, ResilienceConfig(), static=True),
+            "static", cfg, ResilienceConfig(), static=True, record=record),
         "no-failover": _run_variant(
             "no-failover", cfg,
             ResilienceConfig(failover=False, degradation=False),
-            static=False),
+            static=False, record=record),
     }
 
 

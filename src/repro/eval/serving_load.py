@@ -25,7 +25,7 @@ instead (no longer bit-reproducible across hosts).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Dict, Optional
 
 from ..core.decision import DecisionRecord, SearchDecisionEngine
@@ -37,6 +37,7 @@ from ..netsim.topology import NetworkCondition
 from ..netsim.traces import TraceConfig, random_walk_trace
 from ..runtime.batching import BatchingInferenceServer, BatchPolicy
 from ..runtime.server import InferenceServer, ServingStats
+from ..telemetry.recorder import RunRecorder
 
 __all__ = ["ServingLoadConfig", "ServingLoadReport", "run_serving_load",
            "format_serving_load"]
@@ -68,6 +69,8 @@ class ServingLoadReport:
 
     name: str
     stats: ServingStats
+    #: populated when the run was captured (``record=True``)
+    recorder: Optional[RunRecorder] = None
 
     @property
     def throughput_rps(self) -> float:
@@ -98,7 +101,8 @@ class _PinnedTimeEngine:
         return replace(rec, decision_time_s=self._dt)
 
 
-def _make_system(cfg: ServingLoadConfig, telemetry=None) -> Murmuration:
+def _make_system(cfg: ServingLoadConfig, telemetry=None,
+                 recorder=None) -> Murmuration:
     devices = [rpi4(), desktop_gtx1080(), jetson_class()]
     condition = NetworkCondition((150.0, 80.0), (10.0, 20.0))
     engine = SearchDecisionEngine(MBV3_SPACE, devices,
@@ -109,7 +113,7 @@ def _make_system(cfg: ServingLoadConfig, telemetry=None) -> Murmuration:
     return Murmuration(MBV3_SPACE, devices, condition, engine,
                        slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
                        monitor_noise=0.02, seed=cfg.seed,
-                       telemetry=telemetry)
+                       telemetry=telemetry, recorder=recorder)
 
 
 def _trace(cfg: ServingLoadConfig):
@@ -119,36 +123,51 @@ def _trace(cfg: ServingLoadConfig):
 
 
 def run_serving_load(cfg: ServingLoadConfig = ServingLoadConfig(),
-                     telemetry=None) -> Dict[str, ServingLoadReport]:
+                     telemetry=None,
+                     record: bool = False) -> Dict[str, ServingLoadReport]:
     """Run all three variants on the identical world; keyed by name.
 
     ``telemetry`` (optional) instruments only the batched variant —
     one registry across all three would conflate their counters.
+
+    ``record=True`` captures each variant into a
+    :class:`~repro.telemetry.recorder.RunRecorder` (attached to its
+    report) so :mod:`repro.eval.replay` can re-derive the statistics
+    without re-simulating; with a pinned ``decision_time_s`` the
+    resulting recordings are byte-stable functions of the seeds.
     """
     trace = _trace(cfg)
     reports: Dict[str, ServingLoadReport] = {}
     variants = {
-        "fifo": lambda sys, tel: InferenceServer(
+        "fifo": lambda sys, tel, rec: InferenceServer(
             sys, arrival_rate_hz=cfg.arrival_rate_hz, seed=cfg.seed + 1,
-            telemetry=tel),
-        "batched": lambda sys, tel: BatchingInferenceServer(
+            telemetry=tel, recorder=rec),
+        "batched": lambda sys, tel, rec: BatchingInferenceServer(
             sys, arrival_rate_hz=cfg.arrival_rate_hz,
             policy=BatchPolicy(max_batch=cfg.max_batch,
                                max_wait_s=cfg.max_wait_s, overlap=True),
-            seed=cfg.seed + 1, telemetry=tel),
-        "batched-serial": lambda sys, tel: BatchingInferenceServer(
+            seed=cfg.seed + 1, telemetry=tel, recorder=rec),
+        "batched-serial": lambda sys, tel, rec: BatchingInferenceServer(
             sys, arrival_rate_hz=cfg.arrival_rate_hz,
             policy=BatchPolicy(max_batch=cfg.max_batch,
                                max_wait_s=cfg.max_wait_s, overlap=False),
-            seed=cfg.seed + 1, telemetry=tel),
+            seed=cfg.seed + 1, telemetry=tel, recorder=rec),
     }
     for name, make in variants.items():
         tel = telemetry if name == "batched" else None
-        server = make(_make_system(cfg, telemetry=tel), tel)
+        rec = (RunRecorder("serving_load", variant=name,
+                           config=asdict(cfg)) if record else None)
+        server = make(_make_system(cfg, telemetry=tel, recorder=rec),
+                      tel, rec)
         stats = server.run(num_requests=cfg.num_requests,
                            condition_trace=trace,
                            trace_period_s=cfg.trace_period_s)
-        reports[name] = ServingLoadReport(name=name, stats=stats)
+        if rec is not None:
+            if tel is not None:
+                rec.capture_timelines(tel.timelines)
+            rec.finish(stats)
+        reports[name] = ServingLoadReport(name=name, stats=stats,
+                                          recorder=rec)
     return reports
 
 

@@ -130,9 +130,10 @@ class BatchingInferenceServer(InferenceServer):
 
     def __init__(self, system, arrival_rate_hz: float,
                  policy: Optional[BatchPolicy] = None, seed: int = 0,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 recorder=None):
         super().__init__(system, arrival_rate_hz, seed=seed,
-                         telemetry=telemetry)
+                         telemetry=telemetry, recorder=recorder)
         self.policy = policy if policy is not None else BatchPolicy()
         if telemetry is not None:
             reg = telemetry.registry.child("server")
@@ -198,6 +199,7 @@ class BatchingInferenceServer(InferenceServer):
             raise ValueError(
                 f"num_requests must be positive, got {num_requests}")
         stats = BatchedServingStats()
+        self._last_trace_idx = None
         arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
                                                   num_requests))
         pol = self.policy
@@ -239,6 +241,8 @@ class BatchingInferenceServer(InferenceServer):
                 exec_start_s=res.exec_start_s, finish_s=res.finish_s,
                 cache_hit=res.cache_hit, overlap_saved_s=saved)
             stats.batches.append(batch)
+            if self.recorder is not None:
+                self.recorder.on_batch(batch)
             for m, record in enumerate(res.items):
                 arrival = float(arrivals[i + m])
                 with tracer.span("request", sim_time=arrival,
@@ -259,7 +263,7 @@ class BatchingInferenceServer(InferenceServer):
                     satisfied=record.satisfied,
                     outcome=record.outcome,
                     retries=record.retries,
-                    failovers=record.failovers))
+                    failovers=record.failovers), batch=k)
             if self.telemetry is not None:
                 self._m_batch_size.observe(float(size))
                 if size > 1:

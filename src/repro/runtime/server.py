@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING
 
 from ..netsim.topology import NetworkCondition
 from ..telemetry import Telemetry
+from ..telemetry.recorder import RunRecorder
 
 if TYPE_CHECKING:  # avoid core <-> runtime circular import at runtime
     from ..core.murmuration import InferenceRecord, Murmuration
@@ -119,13 +120,16 @@ class InferenceServer:
     """Poisson arrivals -> FIFO queue -> per-request adaptation."""
 
     def __init__(self, system: "Murmuration", arrival_rate_hz: float,
-                 seed: int = 0, telemetry: Optional[Telemetry] = None):
+                 seed: int = 0, telemetry: Optional[Telemetry] = None,
+                 recorder: Optional[RunRecorder] = None):
         if arrival_rate_hz <= 0:
             raise ValueError("arrival rate must be positive")
         self.system = system
         self.rate = arrival_rate_hz
         self.rng = np.random.default_rng(seed)
         self.telemetry = telemetry
+        self.recorder = recorder
+        self._last_trace_idx: Optional[int] = None
         if telemetry is not None:
             reg = telemetry.registry.child("server")
             self._m_requests = reg.counter(
@@ -162,11 +166,17 @@ class InferenceServer:
         """
         if condition_trace:
             idx = min(int(start / trace_period_s), len(condition_trace) - 1)
-            self.system.update_condition(condition_trace[idx])
+            condition = condition_trace[idx]
+            self.system.update_condition(condition)
+            if self.recorder is not None and idx != self._last_trace_idx:
+                self._last_trace_idx = idx
+                self.recorder.on_condition(start, idx, condition)
 
-    def _observe_request(self, stats: ServingStats,
-                         rr: RequestRecord) -> None:
+    def _observe_request(self, stats: ServingStats, rr: RequestRecord,
+                         batch: Optional[int] = None) -> None:
         """Append one finished request and update serving telemetry."""
+        if self.recorder is not None:
+            self.recorder.on_request(len(stats.records), rr, batch=batch)
         stats.records.append(rr)
         if self.telemetry is not None:
             self._m_requests.inc()
@@ -194,6 +204,7 @@ class InferenceServer:
             raise ValueError(
                 f"num_requests must be positive, got {num_requests}")
         stats = ServingStats()
+        self._last_trace_idx = None
         arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
                                                   num_requests))
         server_free = 0.0

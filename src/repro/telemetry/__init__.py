@@ -12,7 +12,11 @@ The observability layer for the whole serving stack.  Four pieces:
   flattened queue → decision → switch → execute → transfer story of one
   request, assembled from spans;
 * :mod:`~repro.telemetry.export` — JSONL / Prometheus-text / console
-  exporters over the registry and timelines.
+  exporters over the registry and timelines;
+* :mod:`~repro.telemetry.recorder` — :class:`RunRecorder`, a versioned
+  JSONL capture of one serving run (arrivals, conditions, decisions,
+  batches, spans) that :mod:`repro.eval.replay` re-derives statistics
+  and figures from without re-simulating.
 
 Everything hangs off one :class:`Telemetry` hub that instrumented
 components accept as an optional constructor argument (``None`` = off)::
@@ -28,7 +32,9 @@ components accept as an optional constructor argument (``None`` = off)::
 from .export import console_report, jsonl_records, prometheus_text, write_jsonl
 from .hub import Telemetry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
-from .timeline import RequestTimeline, TimelineEvent
+from .recorder import (SCHEMA_VERSION, Recording, RunRecorder,
+                       read_recordings, write_recordings)
+from .timeline import RequestTimeline, TimelineEvent, stitch_timelines
 from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
@@ -43,8 +49,14 @@ __all__ = [
     "Span",
     "RequestTimeline",
     "TimelineEvent",
+    "stitch_timelines",
     "write_jsonl",
     "jsonl_records",
     "prometheus_text",
     "console_report",
+    "SCHEMA_VERSION",
+    "Recording",
+    "RunRecorder",
+    "read_recordings",
+    "write_recordings",
 ]

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import json
 import re
-from typing import IO, Iterable, Iterator, List, Sequence, Union
+import warnings
+from typing import IO, Iterable, Iterator, List, Optional, Sequence, Union
 
 from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry
 from .timeline import RequestTimeline
@@ -127,8 +128,22 @@ def _label_suffix(m: Metric) -> str:
 
 def console_report(registry: MetricsRegistry,
                    timelines: Sequence[RequestTimeline] = (),
-                   max_timelines: int = 3) -> str:
-    """Human-readable digest of the registry + a few sample timelines."""
+                   show_timelines: int = 3,
+                   max_timelines: Optional[int] = None) -> str:
+    """Human-readable digest of the registry + a few sample timelines.
+
+    ``show_timelines`` caps how many timelines are *rendered*.  It used
+    to be called ``max_timelines``, which collided with the unrelated
+    :class:`~repro.telemetry.hub.Telemetry` retention cap of the same
+    name; the old keyword is kept as a deprecated alias.
+    """
+    if max_timelines is not None:
+        warnings.warn(
+            "console_report(max_timelines=...) is deprecated: it caps "
+            "rendering, not retention (that is Telemetry.max_timelines)."
+            " Use show_timelines=... instead.",
+            DeprecationWarning, stacklevel=2)
+        show_timelines = max_timelines
     lines: List[str] = ["== telemetry report =="]
     counters = [m for m in registry.collect() if isinstance(m, Counter)]
     gauges = [m for m in registry.collect() if isinstance(m, Gauge)]
@@ -153,7 +168,7 @@ def console_report(registry: MetricsRegistry,
                 f"{m.quantile(0.95):10.4g} {m.quantile(0.99):10.4g}")
     if timelines:
         lines.append(f"-- timelines ({len(timelines)} requests, "
-                     f"showing {min(max_timelines, len(timelines))}) --")
-        for tl in list(timelines)[:max_timelines]:
+                     f"showing {min(show_timelines, len(timelines))}) --")
+        for tl in list(timelines)[:show_timelines]:
             lines.append(tl.render())
     return "\n".join(lines)

@@ -57,3 +57,54 @@ class TestCLI:
         # Prometheus text parses line-by-line (checked in detail in
         # tests/telemetry/test_export.py); spot-check a known sample
         assert "server_requests_total 8" in prom.read_text()
+
+    def test_record_then_replay(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(["record", "--requests", "6", "--seed", "3",
+                     "--out", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "wrote" in stdout and "3 runs" in stdout
+        records = [json.loads(line)
+                   for line in out.read_text().strip().split("\n")]
+        assert sum(r["record"] == "run-header" for r in records) == 3
+        assert sum(r["record"] == "request" for r in records) == 18
+
+        assert main(["replay", str(out)]) == 0
+        stdout = capsys.readouterr().out
+        assert "serving_load/fifo" in stdout
+        assert "batched-serial" in stdout
+        assert "invariants ok across 3 runs" in stdout
+
+    def test_record_is_deterministic(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        for path in (a, b):
+            assert main(["record", "--requests", "5", "--out",
+                         str(path)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_replay_verify_round_trips(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(["record", "--requests", "5", "--out", str(out)]) == 0
+        assert main(["replay", str(out), "--verify"]) == 0
+        stdout = capsys.readouterr().out
+        assert "verified: live re-runs match all 3 recorded runs" in stdout
+
+    def test_replay_rejects_corrupt_recording(self, capsys, tmp_path):
+        out = tmp_path / "run.jsonl"
+        assert main(["record", "--requests", "5", "--out", str(out)]) == 0
+        lines = out.read_text().strip().split("\n")
+        doctored = []
+        for line in lines:
+            rec = json.loads(line)
+            if rec["record"] == "request" and rec["id"] == 2:
+                rec["finish"] = rec["start"] - 1.0
+            doctored.append(json.dumps(rec))
+        out.write_text("\n".join(doctored) + "\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["replay", str(out)])
+        assert "invariants" in str(exc.value)
+
+    def test_replay_missing_file_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["replay", str(tmp_path / "nope.jsonl")])

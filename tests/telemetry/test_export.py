@@ -123,9 +123,26 @@ class TestConsoleReport:
     def test_timeline_cap(self):
         tls = [_timeline(i) for i in range(5)]
         report = console_report(_populated_registry(), tls,
-                                max_timelines=2)
+                                show_timelines=2)
         assert "showing 2" in report
         assert "request 1:" in report and "request 2:" not in report
+
+    def test_max_timelines_alias_deprecated_but_working(self):
+        """``max_timelines`` collided with the Telemetry retention cap
+        of the same name; it must warn yet keep its old meaning."""
+        tls = [_timeline(i) for i in range(5)]
+        with pytest.warns(DeprecationWarning, match="show_timelines"):
+            report = console_report(_populated_registry(), tls,
+                                    max_timelines=2)
+        assert "showing 2" in report
+
+    def test_show_timelines_does_not_warn(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            console_report(_populated_registry(), [_timeline()],
+                           show_timelines=1)
 
     def test_collect_hooks_fire_for_reports(self):
         """Snapshot gauges registered via hooks appear up to date."""

@@ -1,0 +1,217 @@
+"""The record/replay capture layer: canonical JSONL recordings."""
+
+import io
+import json
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.telemetry import (RequestTimeline, Tracer, SCHEMA_VERSION,
+                             Recording, RunRecorder, read_recordings,
+                             write_recordings)
+
+
+def _fake_request(**overrides):
+    """A RequestRecord-shaped object with numpy-typed fields (the
+    recorder must coerce them to plain scalars)."""
+    fields = dict(arrival=np.float64(0.1), start=np.float64(0.2),
+                  finish=np.float64(0.5), inference_s=np.float64(0.25),
+                  decision_s=np.float64(0.04), switch_s=np.float64(0.01),
+                  satisfied=np.bool_(True), outcome="ok",
+                  retries=np.int64(0), failovers=np.int64(0))
+    fields.update(overrides)
+    return SimpleNamespace(**fields)
+
+
+def _fake_condition():
+    return SimpleNamespace(bandwidths_mbps=(np.float64(100.0), 80.0),
+                           delays_ms=(10.0, np.float64(20.0)))
+
+
+def _fake_stats():
+    return SimpleNamespace(
+        records=[None] * 3,
+        throughput_rps=12.5,
+        percentile_ms=lambda q: float(q),
+        mean_queue_wait_ms=4.0,
+        slo_compliance=1.0,
+        completion_rate=1.0,
+        outcome_counts=lambda: {"ok": 3, "retried": 0,
+                                "degraded": 0, "failed": 0})
+
+
+def _populated_recorder():
+    rec = RunRecorder("serving_load", variant="fifo", config={"seed": 0})
+    # deliberately interleaved out of canonical order
+    rec.on_decision(0.0, "evolutionary", 0.04, False)
+    rec.on_request(0, _fake_request())
+    rec.on_condition(0.0, 0, _fake_condition())
+    rec.on_request(1, _fake_request(arrival=0.3, start=0.5, finish=0.8,
+                                    satisfied=np.bool_(False)))
+    rec.on_decision(0.3, "cache", 0.0, True)
+    rec.finish(_fake_stats())
+    return rec
+
+
+class TestRunRecorder:
+    def test_records_in_canonical_order(self):
+        kinds = [r["record"] for r in _populated_recorder().records()]
+        assert kinds == ["run-header", "condition", "decision", "decision",
+                         "request", "request", "summary"]
+
+    def test_header_carries_schema_and_identity(self):
+        head = next(_populated_recorder().records())
+        assert head["schema"] == SCHEMA_VERSION
+        assert head["scenario"] == "serving_load"
+        assert head["variant"] == "fifo"
+        assert head["config"] == {"seed": 0}
+
+    def test_numpy_fields_coerced_to_plain_scalars(self):
+        rec = _populated_recorder()
+        for record in rec.records():
+            for v in record.values():
+                assert not isinstance(v, np.generic), (record, v)
+        req = rec.requests[0]
+        assert type(req["arrival"]) is float
+        assert type(req["satisfied"]) is bool
+        assert type(req["retries"]) is int
+
+    def test_request_batch_membership_recorded(self):
+        rec = RunRecorder("serving_load")
+        rec.on_request(0, _fake_request())
+        rec.on_request(1, _fake_request(), batch=np.int64(2))
+        assert rec.requests[0]["batch"] is None
+        assert rec.requests[1]["batch"] == 2
+
+    def test_summary_aggregates(self):
+        rec = _populated_recorder()
+        assert rec.summary["num_requests"] == 3
+        assert rec.summary["p95_ms"] == 95.0
+        assert rec.summary["outcomes"]["ok"] == 3
+
+    def test_recording_freezes_the_run(self):
+        frozen = _populated_recorder().recording()
+        assert isinstance(frozen, Recording)
+        assert frozen.scenario == "serving_load"
+        assert frozen.variant == "fifo"
+        assert len(frozen.requests) == 2
+        assert frozen.summary is not None
+
+
+class TestCaptureTimelines:
+    def _timeline(self):
+        tracer = Tracer()
+        with tracer.span("request", sim_time=0.0, request=4,
+                         satisfied=np.bool_(False)) as root:
+            with tracer.span("decision", sim_time=0.0) as sp:
+                sp.add_sim(0.02)
+            root.set_sim_end(0.1)
+        return RequestTimeline.from_span(tracer.finished[-1], request_id=4)
+
+    def test_simulated_clock_only(self):
+        """Wall-clock durations are host-dependent; a byte-stable
+        recording must never contain them."""
+        rec = RunRecorder("serving_load")
+        rec.capture_timelines([self._timeline()])
+        (tl,) = rec.timelines
+        assert tl["request_id"] == 4
+        for ev in tl["events"]:
+            assert "wall_duration_s" not in ev
+            assert not any("wall" in k for k in ev)
+
+    def test_attrs_coerced(self):
+        rec = RunRecorder("serving_load")
+        rec.capture_timelines([self._timeline()])
+        attrs = rec.timelines[0]["attrs"]
+        assert attrs["satisfied"] is False
+        assert type(attrs["request"]) is int
+
+
+class TestStreamRoundTrip:
+    def test_write_then_read_recovers_groups(self):
+        buf = io.StringIO()
+        n = write_recordings(buf, [_populated_recorder()])
+        assert n == len(buf.getvalue().strip().split("\n"))
+        buf.seek(0)
+        (rec,) = read_recordings(buf)
+        assert rec.scenario == "serving_load"
+        assert len(rec.conditions) == 1
+        assert len(rec.decisions) == 2
+        assert len(rec.requests) == 2
+        assert rec.summary["num_requests"] == 3
+
+    def test_writes_are_byte_deterministic(self):
+        bufs = []
+        for _ in range(2):
+            buf = io.StringIO()
+            write_recordings(buf, [_populated_recorder()])
+            bufs.append(buf.getvalue())
+        assert bufs[0] == bufs[1]
+        # canonical JSON: sorted keys, no whitespace
+        first = bufs[0].split("\n")[0]
+        keys = list(json.loads(first))
+        assert keys == sorted(keys)
+        assert ": " not in first and ", " not in first
+
+    def test_recording_reemits_canonically(self):
+        """Recorder -> stream -> Recording -> stream is the identity."""
+        direct = io.StringIO()
+        write_recordings(direct, [_populated_recorder()])
+        direct.seek(0)
+        reread = io.StringIO()
+        write_recordings(reread, read_recordings(direct))
+        assert direct.getvalue() == reread.getvalue()
+
+    def test_multiple_runs_split_on_headers(self):
+        buf = io.StringIO()
+        a = _populated_recorder()
+        b = RunRecorder("serving_load", variant="batched")
+        b.on_request(0, _fake_request())
+        write_recordings(buf, [a, b])
+        buf.seek(0)
+        recs = read_recordings(buf)
+        assert [r.variant for r in recs] == ["fifo", "batched"]
+        assert len(recs[1].requests) == 1
+
+    def test_path_round_trip(self, tmp_path):
+        out = tmp_path / "run.jsonl"
+        write_recordings(str(out), [_populated_recorder()])
+        (rec,) = read_recordings(str(out))
+        assert rec.variant == "fifo"
+
+
+class TestSchemaEvolution:
+    def test_newer_schema_refused(self):
+        line = json.dumps({"record": "run-header",
+                           "schema": SCHEMA_VERSION + 1,
+                           "scenario": "serving_load"})
+        with pytest.raises(ValueError, match="newer"):
+            read_recordings(io.StringIO(line + "\n"))
+
+    def test_record_before_header_refused(self):
+        line = json.dumps({"record": "request", "id": 0})
+        with pytest.raises(ValueError, match="before any run-header"):
+            read_recordings(io.StringIO(line + "\n"))
+
+    def test_unknown_record_kinds_skipped(self):
+        lines = [
+            json.dumps({"record": "run-header", "schema": SCHEMA_VERSION,
+                        "scenario": "serving_load", "variant": "x",
+                        "config": {}}),
+            json.dumps({"record": "frobnicate", "mystery": True}),
+            json.dumps({"record": "request", "id": 0, "arrival": 0.0,
+                        "start": 0.0, "finish": 0.1, "inference_s": 0.1,
+                        "decision_s": 0.0, "switch_s": 0.0,
+                        "satisfied": True, "outcome": "ok", "retries": 0,
+                        "failovers": 0, "batch": None}),
+        ]
+        (rec,) = read_recordings(io.StringIO("\n".join(lines) + "\n"))
+        assert len(rec.requests) == 1
+
+    def test_blank_lines_tolerated(self):
+        buf = io.StringIO()
+        write_recordings(buf, [_populated_recorder()])
+        padded = "\n" + buf.getvalue().replace("\n", "\n\n")
+        (rec,) = read_recordings(io.StringIO(padded))
+        assert len(rec.requests) == 2
