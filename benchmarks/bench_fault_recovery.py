@@ -79,20 +79,16 @@ def test_runtime_recovers_after_faults_clear(reports):
 
 @pytest.mark.benchmark(group="faults")
 def test_chaos_trace_is_reproducible():
-    """Same config, same simulated trace — bit for bit.
+    """Same config, same records — bit for bit.
 
-    Decision time is measured wall-clock (it is real search work), so
-    the comparison covers every *simulated* field: arrivals, latencies,
-    outcomes, retry/failover counts, and SLO verdicts.
+    Decision cost is pinned by default (``ChaosConfig.decision_time_s``),
+    so like the serving-load benchmark the comparison is exact down to
+    absolute timestamps, not just the simulated fields.
     """
     a = run_chaos(_QUICK_CFG)["murmuration"]
     b = run_chaos(_QUICK_CFG)["murmuration"]
     assert len(a.stats.records) == len(b.stats.records)
-    for ra, rb in zip(a.stats.records, b.stats.records):
-        assert (ra.arrival, ra.inference_s, ra.switch_s, ra.satisfied,
-                ra.outcome, ra.retries, ra.failovers) == (
-            rb.arrival, rb.inference_s, rb.switch_s, rb.satisfied,
-            rb.outcome, rb.retries, rb.failovers)
+    assert a.stats.records == b.stats.records
 
 
 def main(argv=None) -> int:

@@ -9,6 +9,8 @@ over :mod:`repro.eval` (the pytest benchmarks add assertions on top).
     python -m repro.cli fig17
     python -m repro.cli vit
     python -m repro.cli telemetry --requests 60 --out telemetry.jsonl
+    python -m repro.cli links
+    python -m repro.cli control --requests 120
     python -m repro.cli record --requests 40 --out run.jsonl
     python -m repro.cli replay run.jsonl --verify
 """
@@ -170,6 +172,91 @@ def _telemetry(args) -> str:
     return report + "\n" + "\n".join(footer)
 
 
+def _control(args) -> str:
+    """Adaptive-control run: static vs controlled serving under a burst."""
+    from dataclasses import replace
+
+    from .eval.adaptive import AdaptiveConfig, format_adaptive, run_adaptive
+
+    cfg = AdaptiveConfig(seed=args.seed, slo_ms=args.slo_ms,
+                         arrival_rate_hz=args.rate)
+    if args.requests is not None:
+        cfg = replace(cfg, num_requests=args.requests)
+    reports = run_adaptive(cfg)
+    static, controlled = reports["static"], reports["controlled"]
+    return (format_adaptive(reports)
+            + f"\n\ne2e compliance: static {static.e2e_compliance:.0%} -> "
+            f"controlled {controlled.e2e_compliance:.0%} "
+            f"(shed {controlled.shed}, degraded {controlled.degraded})")
+
+
+def _links(args) -> str:
+    """Per-link congestion dashboard over the transport's link metrics.
+
+    Without ``--jsonl``, runs a small distributed-execution demo (one
+    layerwise split per remote plus a 2x2 spatial plan over a 4-device
+    swarm with deliberately unequal links) so the report shows real
+    traffic; with ``--jsonl`` it reads a previous ``telemetry`` export.
+    """
+    import json
+
+    from .telemetry import format_link_report, link_stats
+
+    if args.jsonl is not None:
+        from .telemetry.metrics import MetricsRegistry
+
+        reg = MetricsRegistry()
+        try:
+            with open(args.jsonl) as fh:
+                for line in fh:
+                    rec = json.loads(line)
+                    if rec.get("record") != "metric":
+                        continue
+                    link = rec.get("labels", {}).get("link")
+                    if link is None:
+                        continue
+                    name = rec["name"]
+                    if name.endswith("link_bytes_total"):
+                        reg.counter(name, link=link).inc(rec["value"])
+                    elif name.endswith("link_transfer_s"):
+                        # rebuild the histogram's shape from its summary:
+                        # counts at the mean reproduce count/sum exactly
+                        # (quantiles are approximate by construction)
+                        h = reg.histogram(name, link=link)
+                        for _ in range(int(rec["count"])):
+                            h.observe(rec["mean"])
+        except OSError as exc:
+            raise SystemExit(f"cannot read telemetry export: {exc}")
+        return format_link_report(link_stats(reg))
+
+    import numpy as np
+
+    from .devices import desktop_gtx1080, jetson_class, rpi4
+    from .nas import Supernet, build_graph, max_arch, tiny_space
+    from .netsim import Cluster, NetworkCondition
+    from .partition import Grid, layerwise_split_plan, spatial_plan
+    from .runtime import DistributedExecutor
+    from .telemetry import Telemetry
+
+    tel = Telemetry()
+    space = tiny_space()
+    net = Supernet(space, seed=args.seed).eval()
+    cluster = Cluster(
+        [rpi4(), desktop_gtx1080(), jetson_class(), rpi4()],
+        NetworkCondition((300.0, 80.0, 25.0), (5.0, 20.0, 40.0)))
+    ex = DistributedExecutor(net, cluster, telemetry=tel)
+    arch = max_arch(space)
+    graph = build_graph(arch, space)
+    x = np.random.default_rng(args.seed).normal(size=(1, 3, 32, 32))
+    for remote in (1, 2, 3):
+        ex.execute(x, arch, layerwise_split_plan(graph, len(graph) // 2,
+                                                 remote=remote))
+    ex.execute(x, arch, spatial_plan(graph, Grid(2, 2), [0, 1, 2, 3]))
+    return ("demo: 3 layerwise splits + one 2x2 spatial plan, "
+            "4-device swarm with unequal links\n\n"
+            + format_link_report(link_stats(tel.registry)))
+
+
 def _record(args) -> str:
     """Capture a seeded serving-load run as a replayable recording."""
     from dataclasses import replace
@@ -245,6 +332,12 @@ _COMMANDS = {
               "serving loop under load; --batch N for the batched pipeline"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
+    "links": (_links,
+              "per-link congestion dashboard over transport_link_* "
+              "metrics; --jsonl reads a telemetry export"),
+    "control": (_control,
+                "adaptive control plane: static vs controlled serving "
+                "under an overload burst"),
     "record": (_record,
                "capture a seeded serving-load run as a replayable JSONL "
                "recording"),
@@ -299,6 +392,21 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="JSONL export path")
             p.add_argument("--prom", default=None,
                            help="also write Prometheus text to this path")
+        elif name == "links":
+            p.add_argument("--jsonl", default=None,
+                           help="read link metrics from a telemetry JSONL "
+                                "export instead of running the demo")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for the demo's supernet and input")
+        elif name == "control":
+            p.add_argument("--requests", type=int, default=None,
+                           help="requests to serve (default 240)")
+            p.add_argument("--rate", type=float, default=8.0,
+                           help="baseline Poisson arrival rate (req/s)")
+            p.add_argument("--slo-ms", type=float, default=300.0,
+                           help="latency SLO in milliseconds")
+            p.add_argument("--seed", type=int, default=0,
+                           help="seed for arrivals/noise/trace draws")
         elif name == "record":
             p.add_argument("--requests", type=int, default=None,
                            help="requests to serve (default 120)")

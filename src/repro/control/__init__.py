@@ -1,0 +1,24 @@
+"""repro.control: the adaptive control plane (closes the telemetry loop).
+
+A :class:`ControlLoop` observes the serving stack on a periodic
+simulated-clock cadence and lets composable controllers retune it
+online: cache granularity, batch policy, admission, and cache
+precompute.  Passing ``control=None`` (the default) anywhere keeps
+serving byte-identical to a control-free build.
+"""
+
+from .controllers import (AdmissionController, BatchPolicyController,
+                          CacheGranularityController, Controller,
+                          PrecomputeScheduler)
+from .loop import ControlAction, ControlLoop, ControlSnapshot
+
+__all__ = [
+    "AdmissionController",
+    "BatchPolicyController",
+    "CacheGranularityController",
+    "Controller",
+    "ControlAction",
+    "ControlLoop",
+    "ControlSnapshot",
+    "PrecomputeScheduler",
+]

@@ -1,0 +1,329 @@
+"""The controllers: small feedback rules over ControlSnapshot signals.
+
+Each controller owns one knob of the serving stack and follows the same
+discipline (after the runtime managers of Xun et al., DATE'24):
+
+* act only on *observed* signals from the snapshot — never on ground
+  truth the deployment could not see;
+* move multiplicatively inside hard clamps, with a hysteresis dead band
+  between the "push up" and "push down" thresholds so a noisy signal
+  cannot flip the knob every tick;
+* remember what went wrong: a refinement that collapsed the hit rate
+  latches a floor so the same mistake is not retried, which is what
+  makes convergence (settling under a stationary trace) provable by
+  test rather than hoped for.
+
+``update(snapshot, loop)`` returns a human-readable description of the
+adjustment made, or None when the controller held still; descriptions
+land in the :class:`~repro.control.loop.ControlLoop` action log and the
+``control_actions_total`` telemetry counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List, Optional
+
+from ..netsim.topology import NetworkCondition
+
+__all__ = ["Controller", "CacheGranularityController",
+           "BatchPolicyController", "AdmissionController",
+           "PrecomputeScheduler"]
+
+
+class Controller:
+    """Base contract: a name and an ``update`` hook per tick."""
+
+    name = "controller"
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        raise NotImplementedError
+
+
+class CacheGranularityController(Controller):
+    """Retunes :class:`StrategyCache` snap steps from hit rate vs. error.
+
+    The cache trades two observable failure modes against each other:
+    cells too fine -> serving lookups miss and every request pays a full
+    decision (low ``window_hit_rate``); cells too coarse -> strategies
+    are reused across genuinely different conditions, visible as monitor
+    relative error far below the cell width (fidelity left on the
+    table).  The rule:
+
+    * hit rate below ``hit_lo``  -> **coarsen** bandwidth/delay steps by
+      ``factor`` (rekeying keeps the surviving entries);
+    * hit rate above ``hit_hi`` *and* the monitor's relative error is
+      under ``rel_err_budget`` -> **refine** by ``factor`` so cached
+      strategies track conditions more faithfully;
+    * in between: hold (the hysteresis dead band).
+
+    Anti-oscillation: when a coarsening immediately follows this
+    controller's own refinement, the abandoned finer level is latched as
+    a *refine floor* — the controller never refines back past it.  With
+    clamped multiplicative moves and a ratcheting floor the reachable
+    step set is finite and shrinks, so under a stationary workload the
+    controller provably settles.
+    """
+
+    name = "cache-granularity"
+
+    def __init__(self, hit_lo: float = 0.4, hit_hi: float = 0.85,
+                 factor: float = 1.5, rel_err_budget: float = 0.25,
+                 min_bw_step: float = 5.0, max_bw_step: float = 200.0,
+                 min_delay_step: float = 2.0, max_delay_step: float = 80.0,
+                 min_window: int = 8):
+        if not (0.0 <= hit_lo < hit_hi <= 1.0):
+            raise ValueError(
+                f"need 0 <= hit_lo < hit_hi <= 1, got {hit_lo}, {hit_hi}")
+        if factor <= 1.0:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        if min_window < 1:
+            raise ValueError(
+                f"min_window must be positive, got {min_window}")
+        self.hit_lo = hit_lo
+        self.hit_hi = hit_hi
+        self.factor = factor
+        self.rel_err_budget = rel_err_budget
+        self.min_bw_step = min_bw_step
+        self.max_bw_step = max_bw_step
+        self.min_delay_step = min_delay_step
+        self.max_delay_step = max_delay_step
+        self.min_window = min_window
+        #: finest steps this controller may return to (ratchet up when a
+        #: refinement collapses the hit rate; clamped to the coarse max
+        #: so the floor can never *exceed* the reachable range)
+        self.refine_floor_bw: Optional[float] = None
+        self.refine_floor_delay: Optional[float] = None
+        self._last_move: Optional[str] = None
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        system = loop.system
+        if system is None:
+            return None
+        if snapshot.window_hits + snapshot.window_misses < self.min_window:
+            return None  # not enough evidence this window
+        hit_rate = snapshot.window_hit_rate
+        cache = system.cache
+        bw, dl = cache.bw_step, cache.delay_step
+        if hit_rate < self.hit_lo:
+            if self._last_move == "refine":
+                # That refinement is what tanked the hit rate: latch it
+                # out of reach before undoing it.
+                self.refine_floor_bw = max(
+                    self.refine_floor_bw or 0.0,
+                    min(bw * self.factor, self.max_bw_step))
+                self.refine_floor_delay = max(
+                    self.refine_floor_delay or 0.0,
+                    min(dl * self.factor, self.max_delay_step))
+            new_bw = min(bw * self.factor, self.max_bw_step)
+            new_dl = min(dl * self.factor, self.max_delay_step)
+            if (new_bw, new_dl) == (bw, dl):
+                return None  # already at the coarse clamp
+            dropped = cache.set_steps(bw_step=new_bw, delay_step=new_dl)
+            self._last_move = "coarsen"
+            return (f"coarsen bw_step {bw:g}->{new_bw:g} "
+                    f"delay_step {dl:g}->{new_dl:g} "
+                    f"(hit rate {hit_rate:.0%}, {dropped} rekey collisions)")
+        rel_err = max(snapshot.monitor_bw_rel_err,
+                      snapshot.monitor_delay_rel_err)
+        if hit_rate > self.hit_hi and rel_err < self.rel_err_budget:
+            floor = max(self.min_bw_step, self.refine_floor_bw or 0.0)
+            new_bw = max(bw / self.factor, floor)
+            dl_floor = max(self.min_delay_step,
+                           self.refine_floor_delay or 0.0)
+            new_dl = max(dl / self.factor, dl_floor)
+            if (new_bw, new_dl) == (bw, dl):
+                return None  # at the fine clamp or the latched floor
+            dropped = cache.set_steps(bw_step=new_bw, delay_step=new_dl)
+            self._last_move = "refine"
+            return (f"refine bw_step {bw:g}->{new_bw:g} "
+                    f"delay_step {dl:g}->{new_dl:g} "
+                    f"(hit rate {hit_rate:.0%}, rel err {rel_err:.0%}, "
+                    f"{dropped} dropped)")
+        self._last_move = None
+        return None
+
+
+class BatchPolicyController(Controller):
+    """Adapts ``BatchPolicy.max_batch`` from backlog and p95 headroom.
+
+    Backlog deeper than ``depth_per_slot`` x the current cap means the
+    pipeline is not draining: double the cap (larger batches amortize
+    more decisions per simulated second).  A near-empty queue *and* p95
+    end-to-end latency under ``headroom`` x the SLO means batching is
+    buying nothing but queueing delay: halve the cap back down.  The
+    dead band between the two conditions prevents flapping.
+    """
+
+    name = "batch-policy"
+
+    def __init__(self, min_batch: int = 1, max_batch: int = 64,
+                 depth_per_slot: float = 2.0, headroom: float = 0.5):
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError(
+                f"need 1 <= min_batch <= max_batch, got "
+                f"{min_batch}, {max_batch}")
+        if depth_per_slot <= 0:
+            raise ValueError(
+                f"depth_per_slot must be positive, got {depth_per_slot}")
+        if not (0.0 < headroom < 1.0):
+            raise ValueError(f"headroom must be in (0, 1), got {headroom}")
+        self.min_batch = min_batch
+        self.max_batch = max_batch
+        self.depth_per_slot = depth_per_slot
+        self.headroom = headroom
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        server = loop.server
+        policy = getattr(server, "policy", None)
+        if policy is None:
+            return None  # not steering a batching server
+        cap = policy.max_batch
+        if snapshot.queue_depth > self.depth_per_slot * cap:
+            new = min(cap * 2, self.max_batch)
+            if new == cap:
+                return None
+            server.policy = replace(policy, max_batch=new)
+            return (f"grow max_batch {cap}->{new} "
+                    f"(backlog {snapshot.queue_depth})")
+        if (snapshot.queue_depth <= cap // 4
+                and snapshot.slo_s is not None
+                and snapshot.window_requests > 0
+                and snapshot.window_p95_e2e_s
+                < self.headroom * snapshot.slo_s):
+            new = max(cap // 2, self.min_batch)
+            if new == cap:
+                return None
+            server.policy = replace(policy, max_batch=new)
+            return (f"shrink max_batch {cap}->{new} "
+                    f"(p95 {snapshot.window_p95_e2e_s * 1e3:.0f}ms under "
+                    f"{self.headroom:.0%} of SLO)")
+        return None
+
+
+class AdmissionController(Controller):
+    """Sheds or degrades requests whose queue wait will blow the SLO.
+
+    Keeps an EWMA of per-request *full* service time (decision + switch
+    + inference) from the snapshot windows; the degraded service cost
+    comes from the runtime's own min-strategy estimate.  Per request,
+    the server asks :meth:`admit` with the request's arrival and
+    predicted dispatch time (``wait = start - arrival``):
+
+    * ``wait + full service <= margin x SLO`` -> ``"serve"``: the real
+      answer still makes its deadline;
+    * else ``wait + degraded service <= margin x SLO`` ->
+      ``"degrade"``: only the cheap answer makes it — a min-submodel
+      result now beats a full result too late;
+    * else -> ``"shed"``: nothing can make this deadline, and serving
+      it anyway pushes every later request further past its own.
+
+    ``margin`` (< 1) reserves budget for what the prediction cannot
+    see: batch-mate serialization and service-time variance.  Until the
+    first window of completed requests arrives the estimate is unknown
+    and everything is admitted — the controller only acts on evidence.
+    """
+
+    name = "admission"
+
+    def __init__(self, margin: float = 0.85, ewma_alpha: float = 0.3):
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        if not (0.0 < ewma_alpha <= 1.0):
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.margin = margin
+        self.ewma_alpha = ewma_alpha
+        self.service_estimate_s = 0.0
+        self.shed = 0
+        self.degraded = 0
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        if snapshot.window_mean_service_s > 0.0:
+            a = self.ewma_alpha
+            prev = self.service_estimate_s
+            self.service_estimate_s = (
+                snapshot.window_mean_service_s if prev == 0.0
+                else a * snapshot.window_mean_service_s + (1 - a) * prev)
+        return None  # acts per request via admit(), not per tick
+
+    def admit(self, arrival: float, start: float, slo_s: float,
+              loop) -> str:
+        est = self.service_estimate_s
+        if est <= 0.0:
+            return "serve"  # no evidence yet
+        budget = self.margin * slo_s - (start - arrival)
+        if est <= budget:
+            return "serve"
+        est_min = (loop.system.min_strategy().expected_latency_s
+                   if loop.system is not None else est)
+        if est_min <= budget:
+            self.degraded += 1
+            return "degrade"
+        self.shed += 1
+        return "shed"
+
+
+class PrecomputeScheduler(Controller):
+    """Warms the strategy cache toward where the condition is drifting.
+
+    Tracks the monitor's smoothed estimate tick over tick, extrapolates
+    the per-link drift ``horizon_s`` ahead, and asks the facade to
+    precompute strategies for the extrapolated cells (plus the midpoint,
+    so a fast drift cannot step over a cell).  Precompute uses
+    ``peek()`` and charges no simulated time — it models background work
+    on the gateway's idle cycles — so its only observable effect is
+    future hits.  Holds still when the drift is smaller than
+    ``min_drift`` of the current value per tick (noise, not movement).
+    """
+
+    name = "precompute"
+
+    def __init__(self, horizon_s: float = 2.0, min_drift: float = 0.02,
+                 max_cells: int = 2):
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        if max_cells < 1:
+            raise ValueError(f"max_cells must be positive, got {max_cells}")
+        self.horizon_s = horizon_s
+        self.min_drift = min_drift
+        self.max_cells = max_cells
+        self.computed = 0
+        self._prev: Optional[NetworkCondition] = None
+        self._prev_t: Optional[float] = None
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        system = loop.system
+        cond = snapshot.condition
+        if system is None or cond is None:
+            return None
+        prev, prev_t = self._prev, self._prev_t
+        self._prev, self._prev_t = cond, snapshot.t
+        if prev is None or snapshot.t <= prev_t:
+            return None
+        dt = snapshot.t - prev_t
+        bw_rates = [(b - pb) / dt for b, pb in
+                    zip(cond.bandwidths_mbps, prev.bandwidths_mbps)]
+        dl_rates = [(d - pd) / dt for d, pd in
+                    zip(cond.delays_ms, prev.delays_ms)]
+        drift = max(
+            [abs(r) * dt / max(b, 1e-9)
+             for r, b in zip(bw_rates, cond.bandwidths_mbps)]
+            + [abs(r) * dt / max(d, 1e-9)
+               for r, d in zip(dl_rates, cond.delays_ms)])
+        if drift < self.min_drift:
+            return None
+        targets: List[NetworkCondition] = []
+        for k in range(1, self.max_cells + 1):
+            ahead = self.horizon_s * k / self.max_cells
+            targets.append(NetworkCondition(
+                tuple(max(b + r * ahead, 1e-3)
+                      for b, r in zip(cond.bandwidths_mbps, bw_rates)),
+                tuple(max(d + r * ahead, 1e-3)
+                      for d, r in zip(cond.delays_ms, dl_rates))))
+        computed = system.precompute(targets)
+        if computed == 0:
+            return None  # every extrapolated cell was already warm
+        self.computed += computed
+        return (f"precomputed {computed} strategies "
+                f"{self.horizon_s:g}s ahead (drift {drift:.1%}/tick)")

@@ -145,7 +145,7 @@ class Murmuration:
                  telemetry: Optional[Telemetry] = None,
                  faults: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 recorder=None):
+                 recorder=None, control=None):
         self.space = space
         self.cluster = Cluster(list(devices), condition)
         self.engine = decision_engine
@@ -179,6 +179,11 @@ class Murmuration:
                          if supernet is not None else None)
         self.records: List[InferenceRecord] = []
         self._now = 0.0
+        self._min_strategy: Optional[Strategy] = None
+        #: optional ControlLoop retuning the runtime from telemetry
+        self.control = control
+        if control is not None:
+            control.attach(system=self)
         if telemetry is not None:
             reg = telemetry.registry.child("core")
             self._reg = reg
@@ -322,6 +327,50 @@ class Murmuration:
                                       record.engine == "cache")
         return record
 
+    def min_strategy(self) -> Strategy:
+        """The cheapest strategy: min submodel, fastest single device.
+
+        Memoized — the admission controller's degraded path must not pay
+        graph construction and placement search per request.  The quoted
+        expected latency is priced under the construction-time
+        condition; it is the runtime's own (observable) estimate of what
+        a degraded answer costs, which is exactly the signal admission
+        control needs.
+        """
+        if self._min_strategy is None:
+            arch = min_arch(self.space)
+            graph = build_graph(arch, self.space)
+            best_plan, best_s = None, None
+            for d in range(self.cluster.num_devices):
+                plan = single_device_plan(graph, device=d)
+                total = simulate_latency(graph, plan, self.cluster).total_s
+                if best_s is None or total < best_s:
+                    best_plan, best_s = plan, total
+            accuracy = (arch_accuracy(arch, self.space)
+                        - plan_accuracy_penalty(best_plan))
+            self._min_strategy = Strategy(arch, best_plan, best_s, accuracy)
+        return self._min_strategy
+
+    def _admission_decision(self) -> DecisionRecord:
+        """Degraded admission: min submodel, no engine run, zero cost.
+
+        Mirrors :meth:`decide`'s telemetry/recorder bookkeeping so a
+        controlled run's decision accounting stays complete.
+        """
+        record = DecisionRecord(self.min_strategy(), 0.0, "admission")
+        if self.telemetry is not None:
+            counter = self._m_decisions.get("admission")
+            if counter is None:
+                counter = self._reg.counter("decisions_total",
+                                            help="decisions by engine",
+                                            engine="admission")
+                self._m_decisions["admission"] = counter
+            counter.inc()
+            self._m_decision_s.observe(0.0)
+        if self.recorder is not None:
+            self.recorder.on_decision(self._now, "admission", 0.0, False)
+        return record
+
     def _sync_cache_metrics(self) -> None:
         cache = self.cache
         self._m_cache_hits.value = float(cache.hits)
@@ -351,16 +400,28 @@ class Murmuration:
     # -- data plane ------------------------------------------------------------
     def infer(self, x: Optional[np.ndarray] = None,
               now: Optional[float] = None,
-              request_id: Optional[int] = None) -> InferenceRecord:
-        """Serve one inference request under the current SLO."""
+              request_id: Optional[int] = None,
+              degraded: bool = False) -> InferenceRecord:
+        """Serve one inference request under the current SLO.
+
+        ``degraded=True`` (set by the admission controller) skips the
+        decision engine and serves the memoized min-submodel strategy at
+        zero decision cost; the record's outcome becomes ``"degraded"``.
+        """
         if now is not None:
             self._now = now
+        if self.control is not None and self.control.server is None:
+            # Facade-only deployment: the facade drives the cadence.  A
+            # server-attached loop ticks at the server instead, where
+            # queue depth and request windows are known.
+            self.control.maybe_tick(self._now)
         if self.faults is not None:
             self.faults.advance(self._now)
             self.faults.apply_to(self.cluster, self._base_condition)
         tracer = Telemetry.tracer_of(self.telemetry)
         with tracer.span("decision", sim_time=self._now) as sp:
-            decision = self.decide()
+            decision = (self._admission_decision() if degraded
+                        else self.decide())
             sp.add_sim(decision.decision_time_s)
             sp.annotate(engine=decision.engine)
             if request_id is not None:
@@ -409,6 +470,8 @@ class Murmuration:
                 (latency, accuracy, outcome, retries,
                  failovers, _) = self._plan_only_faulty(strategy)
             sp.add_sim(latency)
+            if degraded and outcome == "ok":
+                outcome = "degraded"
             if outcome != "ok":
                 sp.annotate(outcome=outcome)
         satisfied = (outcome != "failed"
@@ -451,8 +514,12 @@ class Murmuration:
                     now: Optional[float] = None,
                     request_ids: Optional[Sequence[int]] = None,
                     exec_not_before: Optional[float] = None,
-                    ) -> BatchInferenceResult:
+                    degraded: bool = False) -> BatchInferenceResult:
         """Serve a batch of requests with one amortized decision.
+
+        ``degraded=True`` (set by the admission controller) serves the
+        whole batch on the memoized min-submodel strategy at zero
+        decision cost; every item's outcome becomes ``"degraded"``.
 
         All items share a single decision (one probe round, one cache
         lookup or engine run) and a single model switch — sound because
@@ -483,13 +550,16 @@ class Murmuration:
             raise ValueError("request_ids must match the batch size")
         if now is not None:
             self._now = now
+        if self.control is not None and self.control.server is None:
+            self.control.maybe_tick(self._now)
         start = self._now
         if self.faults is not None:
             self.faults.advance(start)
             self.faults.apply_to(self.cluster, self._base_condition)
         tracer = Telemetry.tracer_of(self.telemetry)
         with tracer.span("decision", sim_time=start) as sp:
-            decision = self.decide()
+            decision = (self._admission_decision() if degraded
+                        else self.decide())
             sp.add_sim(decision.decision_time_s)
             sp.annotate(engine=decision.engine, batch=n)
         if decision.strategy is None:
@@ -569,6 +639,8 @@ class Murmuration:
                      plan_state) = self._plan_only_faulty(
                         strategy, plan_state)
                 sp.add_sim(latency)
+                if degraded and outcome == "ok":
+                    outcome = "degraded"
                 if outcome != "ok":
                     sp.annotate(outcome=outcome)
             satisfied = (outcome != "failed"

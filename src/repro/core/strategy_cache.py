@@ -6,6 +6,11 @@ are snapped to a configurable granularity — two conditions within the
 same cell share a strategy, which is safe because strategies are lower
 bounds under mild relaxation (the SUPREME observation).
 
+Granularity is *runtime-tunable*: :meth:`set_steps` changes the snap
+steps mid-run, rekeying (or invalidating) the existing entries, so a
+control loop can trade hit rate against strategy fidelity from observed
+telemetry instead of committing at construction time.
+
 LRU eviction bounds memory.
 """
 
@@ -26,11 +31,18 @@ class StrategyCache:
                  bw_step: float = 25.0, delay_step: float = 10.0):
         if capacity < 1:
             raise ValueError("capacity must be positive")
+        for name, step in (("slo_step", slo_step), ("bw_step", bw_step),
+                           ("delay_step", delay_step)):
+            if step <= 0:
+                raise ValueError(f"{name} must be positive, got {step}")
         self.capacity = capacity
         self.slo_step = slo_step
         self.bw_step = bw_step
         self.delay_step = delay_step
-        self._store: "OrderedDict[tuple, Strategy]" = OrderedDict()
+        # key -> (slo, condition, strategy); the un-snapped (slo,
+        # condition) of the *last write* is kept so set_steps() can
+        # re-snap every entry under a new granularity.
+        self._store: "OrderedDict[tuple, Tuple[SLO, NetworkCondition, Strategy]]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.inserts = 0
@@ -53,13 +65,13 @@ class StrategyCache:
     # -- API -------------------------------------------------------------------
     def get(self, slo: SLO, condition: NetworkCondition) -> Optional[Strategy]:
         key = self._key(slo, condition)
-        strategy = self._store.get(key)
-        if strategy is None:
+        entry = self._store.get(key)
+        if entry is None:
             self.misses += 1
             return None
         self._store.move_to_end(key)
         self.hits += 1
-        return strategy
+        return entry[2]
 
     def peek(self, slo: SLO, condition: NetworkCondition) -> Optional[Strategy]:
         """Look up an entry without touching statistics or LRU order.
@@ -70,7 +82,8 @@ class StrategyCache:
         out of ``hits``/``misses`` is what lets ``hit_rate`` mean "the
         fraction of served decisions answered from cache".
         """
-        return self._store.get(self._key(slo, condition))
+        entry = self._store.get(self._key(slo, condition))
+        return entry[2] if entry is not None else None
 
     def put(self, slo: SLO, condition: NetworkCondition,
             strategy: Strategy) -> None:
@@ -79,7 +92,7 @@ class StrategyCache:
             self.overwrites += 1
         else:
             self.inserts += 1
-        self._store[key] = strategy
+        self._store[key] = (slo, condition, strategy)
         self._store.move_to_end(key)
         while len(self._store) > self.capacity:
             self._store.popitem(last=False)
@@ -103,11 +116,57 @@ class StrategyCache:
         strategies that route through a device whose circuit just
         opened.
         """
-        doomed = [k for k, s in self._store.items() if predicate(s)]
+        doomed = [k for k, e in self._store.items() if predicate(e[2])]
         for k in doomed:
             del self._store[k]
         self.invalidations += len(doomed)
         return len(doomed)
+
+    def set_steps(self, slo_step: Optional[float] = None,
+                  bw_step: Optional[float] = None,
+                  delay_step: Optional[float] = None,
+                  rekey: bool = True) -> int:
+        """Change the snap granularity mid-run; returns entries dropped.
+
+        With ``rekey=True`` (default) every live entry is re-snapped
+        under the new steps from the exact (SLO, condition) it was
+        written with; entries that collide in a now-coarser cell keep
+        the most recently used strategy.  With ``rekey=False`` the
+        store is invalidated instead (counters survive — only
+        ``invalidations`` grows), which is the conservative choice when
+        the caller cannot vouch that old strategies remain lower bounds
+        under the new cells.
+
+        Hit/miss statistics are *never* reset here: the control loop
+        retunes granularity from windowed deltas of those counters, so
+        a retune must not erase the evidence it acted on.
+        """
+        for name, step in (("slo_step", slo_step), ("bw_step", bw_step),
+                           ("delay_step", delay_step)):
+            if step is not None and step <= 0:
+                raise ValueError(f"{name} must be positive, got {step}")
+        new = (slo_step if slo_step is not None else self.slo_step,
+               bw_step if bw_step is not None else self.bw_step,
+               delay_step if delay_step is not None else self.delay_step)
+        if new == (self.slo_step, self.bw_step, self.delay_step):
+            return 0
+        self.slo_step, self.bw_step, self.delay_step = new
+        old = self._store
+        self._store = OrderedDict()
+        dropped = 0
+        if rekey:
+            # Iterating oldest -> newest means a collision is resolved
+            # in favour of the more recently used entry, and the new
+            # store's insertion order preserves the old LRU order.
+            for slo, condition, strategy in old.values():
+                key = self._key(slo, condition)
+                if key in self._store:
+                    dropped += 1
+                self._store[key] = (slo, condition, strategy)
+        else:
+            dropped = len(old)
+        self.invalidations += dropped
+        return dropped
 
     def clear(self) -> None:
         """Drop all entries *and* reset every counter."""
@@ -131,6 +190,9 @@ class StrategyCache:
             "overwrites": self.overwrites,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "slo_step": self.slo_step,
+            "bw_step": self.bw_step,
+            "delay_step": self.delay_step,
         }
 
     def __len__(self) -> int:

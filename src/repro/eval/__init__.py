@@ -12,6 +12,13 @@ from .experiments import (
     fig18_search_time,
     fig19_switch_time,
 )
+from .adaptive import (
+    AdaptiveConfig,
+    AdaptiveReport,
+    burst_arrival_process,
+    format_adaptive,
+    run_adaptive,
+)
 from .chaos import (
     ChaosConfig,
     ChaosReport,
@@ -62,6 +69,11 @@ __all__ = [
     "fig17_scalability",
     "fig18_search_time",
     "fig19_switch_time",
+    "AdaptiveConfig",
+    "AdaptiveReport",
+    "burst_arrival_process",
+    "format_adaptive",
+    "run_adaptive",
     "ChaosConfig",
     "ChaosReport",
     "chaos_crash_schedule",

@@ -31,6 +31,7 @@ from ..nas.search_space import MBV3_SPACE
 from ..netsim.topology import NetworkCondition
 from ..runtime.server import InferenceServer, ServingStats
 from ..telemetry.recorder import RunRecorder
+from .serving_load import _PinnedTimeEngine
 
 __all__ = ["ChaosConfig", "ChaosReport", "chaos_crash_schedule",
            "run_chaos", "format_chaos"]
@@ -55,6 +56,9 @@ class ChaosConfig:
     degrade_bw_factor: float = 0.1
     degrade_delay_ms: float = 60.0
     n_random_archs: int = 4
+    #: fixed per-miss decision cost (None = measure wall clock; forfeits
+    #: byte-stable recordings)
+    decision_time_s: Optional[float] = 0.03
 
 
 @dataclass
@@ -129,6 +133,11 @@ def _run_variant(name: str, cfg: ChaosConfig,
     engine = SearchDecisionEngine(MBV3_SPACE, devices,
                                   n_random_archs=cfg.n_random_archs,
                                   seed=cfg.seed)
+    if cfg.decision_time_s is not None:
+        # Pin *before* the static wrapper: the static variant's one-off
+        # nominal decision is free either way, so pinning only re-prices
+        # the adaptive variants' cache misses.
+        engine = _PinnedTimeEngine(engine, cfg.decision_time_s)
     if static:
         engine = _StaticEngine(engine, condition)
     recorder = (RunRecorder("chaos", variant=name, config=asdict(cfg))
@@ -161,9 +170,12 @@ def run_chaos(cfg: ChaosConfig = ChaosConfig(),
 
     ``telemetry`` (optional) instruments only the resilient variant —
     attaching one registry to all three would conflate their counters.
-    ``record=True`` attaches a RunRecorder per variant (note: chaos
-    decision times are honestly measured, so chaos recordings replay
-    exactly but are not byte-stable across hosts).
+    ``record=True`` attaches a RunRecorder per variant; with the default
+    pinned ``decision_time_s`` the recordings are byte-stable functions
+    of the seeds (``record`` -> ``rerecord`` byte-diffs clean).  Set
+    ``decision_time_s=None`` to charge honestly measured wall clock
+    instead (recordings still replay exactly, but are no longer
+    byte-stable across hosts).
     """
     return {
         "murmuration": _run_variant(

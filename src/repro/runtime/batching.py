@@ -131,9 +131,12 @@ class BatchingInferenceServer(InferenceServer):
     def __init__(self, system, arrival_rate_hz: float,
                  policy: Optional[BatchPolicy] = None, seed: int = 0,
                  telemetry: Optional[Telemetry] = None,
-                 recorder=None):
+                 recorder=None, control=None, arrival_process=None):
         super().__init__(system, arrival_rate_hz, seed=seed,
-                         telemetry=telemetry, recorder=recorder)
+                         telemetry=telemetry, recorder=recorder,
+                         control=control, arrival_process=arrival_process)
+        #: re-read at every batch boundary — a BatchPolicyController may
+        #: replace it mid-run
         self.policy = policy if policy is not None else BatchPolicy()
         if telemetry is not None:
             reg = telemetry.registry.child("server")
@@ -200,18 +203,39 @@ class BatchingInferenceServer(InferenceServer):
                 f"num_requests must be positive, got {num_requests}")
         stats = BatchedServingStats()
         self._last_trace_idx = None
-        arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
-                                                  num_requests))
-        pol = self.policy
-        # A size-1 batch has nothing to amortize and no second in-flight
-        # batch to hide a decision under: serial, FIFO-identical.
-        overlap = pol.overlap and pol.max_batch > 1
+        arrivals = self._arrivals(num_requests)
         exec_free = 0.0    # when the executor (cluster + model) frees
         dec_free = 0.0     # when the gateway's decision engine frees
         tracer = Telemetry.tracer_of(self.telemetry)
         i = 0
         k = 0
         while i < len(arrivals):
+            degraded = False
+            if self.control is not None:
+                self.control.maybe_tick(
+                    float(arrivals[i]), stats=stats,
+                    queue_depth=self._backlog(arrivals, i, exec_free))
+                # Shed hopeless leading requests before they anchor a
+                # batch; the surviving leader's verdict decides whether
+                # the whole batch degrades (all members share its
+                # strategy anyway).
+                while i < len(arrivals):
+                    a = float(arrivals[i])
+                    verdict = self.control.admit(a, max(a, exec_free),
+                                                 self.system.slo)
+                    if verdict != "shed":
+                        degraded = verdict == "degrade"
+                        break
+                    self._shed(stats, a)
+                    i += 1
+                if i >= len(arrivals):
+                    break
+            # Policy is re-read each batch: a BatchPolicyController may
+            # have replaced it at the tick above.  A size-1 batch has
+            # nothing to amortize and no second in-flight batch to hide
+            # a decision under: serial, FIFO-identical.
+            pol = self.policy
+            overlap = pol.overlap and pol.max_batch > 1
             j, close = self._close_batch(arrivals, i, exec_free,
                                          early=overlap)
             size = j - i
@@ -225,7 +249,8 @@ class BatchingInferenceServer(InferenceServer):
                 res = self.system.infer_batch(
                     batch_size=size, now=d_start,
                     request_ids=list(range(i, j)),
-                    exec_not_before=(exec_free if overlap else None))
+                    exec_not_before=(exec_free if overlap else None),
+                    degraded=degraded)
                 bs.set_sim_end(res.finish_s)
                 bs.annotate(cache_hit=res.cache_hit)
             # What a serial pipeline would have charged: decision at

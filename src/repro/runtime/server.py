@@ -31,7 +31,11 @@ __all__ = ["RequestRecord", "ServingStats", "InferenceServer"]
 
 @dataclass(frozen=True)
 class RequestRecord:
-    """Timeline of one served request (simulated seconds)."""
+    """Timeline of one served request (simulated seconds).
+
+    A request shed at admission gets ``start == finish == arrival`` and
+    all-zero service components: it never occupied the pipeline.
+    """
 
     arrival: float
     start: float
@@ -40,7 +44,7 @@ class RequestRecord:
     decision_s: float
     switch_s: float
     satisfied: bool
-    #: "ok" | "retried" | "degraded" | "failed"
+    #: "ok" | "retried" | "degraded" | "failed" | "shed"
     outcome: str = "ok"
     retries: int = 0
     failovers: int = 0
@@ -86,20 +90,46 @@ class ServingStats:
         return sum(r.satisfied for r in self.records) / len(self.records)
 
     def outcome_counts(self) -> dict:
-        """Requests by outcome ("ok"/"retried"/"degraded"/"failed")."""
+        """Requests by outcome ("ok"/"retried"/"degraded"/"failed").
+
+        "shed" appears as a fifth key only when admission control
+        actually shed requests — keeping it out of the base dict keeps
+        control-free recordings (and their golden fixtures) unchanged.
+        """
         counts = {"ok": 0, "retried": 0, "degraded": 0, "failed": 0}
         for r in self.records:
             counts[r.outcome] = counts.get(r.outcome, 0) + 1
         return counts
 
     @property
+    def shed_count(self) -> int:
+        """Requests rejected at admission (never served)."""
+        return sum(r.outcome == "shed" for r in self.records)
+
+    @property
     def completion_rate(self) -> float:
         """Fraction of requests that produced a result (any outcome but
-        "failed")."""
+        "failed" or "shed")."""
         if not self.records:
             return 0.0
-        return (sum(r.outcome != "failed" for r in self.records)
-                / len(self.records))
+        return (sum(r.outcome not in ("failed", "shed")
+                    for r in self.records) / len(self.records))
+
+    def e2e_compliance(self, slo_s: float) -> float:
+        """Fraction of *submitted* requests answered within ``slo_s``
+        end to end (queueing included).
+
+        This is the deployment-facing compliance number: a shed or
+        failed request counts against it, and so does a completed
+        request whose queue wait pushed it past the deadline — unlike
+        :attr:`slo_compliance`, which scores the runtime's per-request
+        promise on execution latency alone.
+        """
+        if not self.records:
+            return 0.0
+        ok = sum(r.outcome not in ("failed", "shed")
+                 and r.end_to_end_s <= slo_s for r in self.records)
+        return ok / len(self.records)
 
     def summary(self) -> str:
         base = (f"{len(self.records)} requests, "
@@ -121,7 +151,16 @@ class InferenceServer:
 
     def __init__(self, system: "Murmuration", arrival_rate_hz: float,
                  seed: int = 0, telemetry: Optional[Telemetry] = None,
-                 recorder: Optional[RunRecorder] = None):
+                 recorder: Optional[RunRecorder] = None,
+                 control=None, arrival_process=None):
+        """``control`` (a :class:`~repro.control.ControlLoop`) lets the
+        server drive the control cadence with queue context and consult
+        admission per request; None keeps serving byte-identical.
+
+        ``arrival_process`` overrides Poisson arrivals: a callable
+        ``(rng, num_requests) -> array of arrival times`` (sorted,
+        seconds).  Used by overload-burst scenarios.
+        """
         if arrival_rate_hz <= 0:
             raise ValueError("arrival rate must be positive")
         self.system = system
@@ -129,7 +168,11 @@ class InferenceServer:
         self.rng = np.random.default_rng(seed)
         self.telemetry = telemetry
         self.recorder = recorder
+        self.control = control
+        self.arrival_process = arrival_process
         self._last_trace_idx: Optional[int] = None
+        if control is not None:
+            control.attach(system=system, server=self)
         if telemetry is not None:
             reg = telemetry.registry.child("server")
             self._m_requests = reg.counter(
@@ -192,6 +235,35 @@ class InferenceServer:
                 self._m_outcomes[rr.outcome] = counter
             counter.inc()
 
+    def _arrivals(self, num_requests: int) -> np.ndarray:
+        """Arrival times: Poisson by default, or the injected process."""
+        if self.arrival_process is not None:
+            arrivals = np.asarray(
+                self.arrival_process(self.rng, num_requests), dtype=float)
+            if len(arrivals) != num_requests:
+                raise ValueError(
+                    f"arrival_process returned {len(arrivals)} times "
+                    f"for num_requests={num_requests}")
+            return arrivals
+        return np.cumsum(self.rng.exponential(1.0 / self.rate,
+                                              num_requests))
+
+    def _shed(self, stats: ServingStats, arrival: float,
+              batch: Optional[int] = None) -> None:
+        """Account one admission-shed request: zero service, not
+        satisfied, pipeline untouched."""
+        self._observe_request(stats, RequestRecord(
+            arrival=arrival, start=arrival, finish=arrival,
+            inference_s=0.0, decision_s=0.0, switch_s=0.0,
+            satisfied=False, outcome="shed"), batch=batch)
+
+    @staticmethod
+    def _backlog(arrivals: np.ndarray, i: int, busy_until: float) -> int:
+        """Requests from ``i`` on that arrive before the pipeline frees
+        — the queue the server must drain before catching up."""
+        depth = int(np.searchsorted(arrivals, busy_until, side="right")) - i
+        return max(depth, 0)
+
     def run(self, num_requests: int,
             condition_trace: Optional[Sequence[NetworkCondition]] = None,
             trace_period_s: float = 1.0) -> ServingStats:
@@ -205,20 +277,31 @@ class InferenceServer:
                 f"num_requests must be positive, got {num_requests}")
         stats = ServingStats()
         self._last_trace_idx = None
-        arrivals = np.cumsum(self.rng.exponential(1.0 / self.rate,
-                                                  num_requests))
+        arrivals = self._arrivals(num_requests)
         server_free = 0.0
         tracer = Telemetry.tracer_of(self.telemetry)
         for i, arrival in enumerate(arrivals):
             arrival = float(arrival)
             start = max(arrival, server_free)
+            if self.control is not None:
+                self.control.maybe_tick(
+                    arrival, stats=stats,
+                    queue_depth=self._backlog(arrivals, i, server_free))
+                verdict = self.control.admit(arrival, start,
+                                             self.system.slo)
+                if verdict == "shed":
+                    self._shed(stats, arrival)
+                    continue
+            else:
+                verdict = "serve"
             self._apply_trace(condition_trace, trace_period_s, start)
             with tracer.span("request", sim_time=arrival,
                              request=i) as root:
                 with tracer.span("queue", sim_time=arrival) as qs:
                     qs.set_sim_end(start)
                 record: "InferenceRecord" = self.system.infer(
-                    now=start, request_id=i)
+                    now=start, request_id=i,
+                    degraded=(verdict == "degrade"))
                 # Summed left-to-right in pipeline order (decision,
                 # switch, execute) so the batched server's size-1
                 # degenerate case reproduces these floats bit-exactly.

@@ -29,7 +29,8 @@ components accept as an optional constructor argument (``None`` = off)::
     print(console_report(tel.registry, tel.timelines))
 """
 
-from .export import console_report, jsonl_records, prometheus_text, write_jsonl
+from .export import (console_report, format_link_report, jsonl_records,
+                     link_stats, prometheus_text, write_jsonl)
 from .hub import Telemetry
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .recorder import (SCHEMA_VERSION, Recording, RunRecorder,
@@ -54,6 +55,8 @@ __all__ = [
     "jsonl_records",
     "prometheus_text",
     "console_report",
+    "link_stats",
+    "format_link_report",
     "SCHEMA_VERSION",
     "Recording",
     "RunRecorder",

@@ -10,6 +10,9 @@ Three consumers, three formats:
   registry verbatim.  Histograms export as summaries (count, sum and
   streaming quantiles).
 * ``console_report`` — a human-readable digest for terminals.
+* ``link_stats`` / ``format_link_report`` — a per-link congestion view
+  over the transport's ``link_bytes_total`` / ``link_transfer_s``
+  metrics (the ``murmuration-repro links`` CLI dashboard).
 """
 
 from __future__ import annotations
@@ -23,7 +26,7 @@ from .metrics import Counter, Gauge, Histogram, Metric, MetricsRegistry
 from .timeline import RequestTimeline
 
 __all__ = ["jsonl_records", "write_jsonl", "prometheus_text",
-           "console_report"]
+           "console_report", "link_stats", "format_link_report"]
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
 _QUANTILES = (0.5, 0.95, 0.99)
@@ -116,6 +119,81 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             out = repr(int(value)) if float(value).is_integer() else f"{value:.9g}"
             lines.append(f"{name}{_fmt_labels(m.labels)} {out}")
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+# -- per-link congestion ----------------------------------------------------
+
+def link_stats(registry: MetricsRegistry) -> List[dict]:
+    """Aggregate the transport's per-link metrics into congestion rows.
+
+    Scans the registry for ``link_bytes_total`` counters and
+    ``link_transfer_s`` histograms (any prefix) carrying a ``link``
+    label — the pair :class:`~repro.runtime.rpc.Transport` emits for
+    every cross-device delivery — and joins them per link.  Each row:
+
+    ``link``
+        the ``"src-dst"`` device pair;
+    ``messages`` / ``bytes``
+        delivery count and payload bytes on the wire;
+    ``busy_s``
+        total simulated seconds the link spent transferring — the
+        congestion headline (queueing at a link shows up here, since
+        every delivery's transfer time includes its wait);
+    ``mean_ms`` / ``p95_ms``
+        per-delivery transfer time, mean and 95th percentile;
+    ``mbps``
+        effective throughput (payload bits / busy seconds).
+
+    Rows come back busiest-first.  Links that never carried traffic do
+    not appear (the transport only mints the metrics on first use).
+    """
+    bytes_by: dict = {}
+    hist_by: dict = {}
+    for m in registry.collect():
+        link = m.label_dict.get("link")
+        if link is None:
+            continue
+        if m.name.endswith("link_bytes_total"):
+            bytes_by[link] = bytes_by.get(link, 0) + int(m.value)
+        elif m.name.endswith("link_transfer_s") and isinstance(m, Histogram):
+            hist_by[link] = m
+    rows: List[dict] = []
+    for link in sorted(set(bytes_by) | set(hist_by)):
+        h = hist_by.get(link)
+        nbytes = bytes_by.get(link, 0)
+        busy = h.sum if h is not None else 0.0
+        rows.append({
+            "link": link,
+            "messages": h.count if h is not None else 0,
+            "bytes": nbytes,
+            "busy_s": busy,
+            "mean_ms": h.mean * 1e3 if h is not None and h.count else 0.0,
+            "p95_ms": (h.quantile(0.95) * 1e3
+                       if h is not None and h.count else 0.0),
+            "mbps": nbytes * 8 / 1e6 / busy if busy > 0 else 0.0,
+        })
+    rows.sort(key=lambda r: (-r["busy_s"], r["link"]))
+    return rows
+
+
+def format_link_report(rows: Sequence[dict]) -> str:
+    """Render :func:`link_stats` rows as a console table."""
+    if not rows:
+        return "no cross-device traffic recorded"
+    lines = [f"{'link':>8s}{'msgs':>7s}{'bytes':>12s}{'busy s':>9s}"
+             f"{'mean ms':>9s}{'p95 ms':>9s}{'Mbps':>8s}"]
+    for r in rows:
+        lines.append(
+            f"{r['link']:>8s}{r['messages']:>7d}{r['bytes']:>12,d}"
+            f"{r['busy_s']:>9.3f}{r['mean_ms']:>9.1f}{r['p95_ms']:>9.1f}"
+            f"{r['mbps']:>8.1f}")
+    total_b = sum(r["bytes"] for r in rows)
+    total_m = sum(r["messages"] for r in rows)
+    busiest = rows[0]
+    lines.append(f"{len(rows)} links, {total_m} messages, "
+                 f"{total_b:,d} bytes; busiest {busiest['link']} "
+                 f"({busiest['busy_s']:.3f}s busy)")
+    return "\n".join(lines)
 
 
 # -- console ---------------------------------------------------------------

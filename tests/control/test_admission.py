@@ -1,0 +1,88 @@
+"""End-to-end admission through the serving stack.
+
+Runs the adaptive scenario small and checks the deployment-facing
+bookkeeping: every submitted request lands in exactly one bucket, shed
+requests never touch the pipeline, degraded ones really got the cheap
+path — and an *empty* control loop is a pure observer (byte-identical
+records to ``control=None``), which is the observability half of the
+control plane's zero-impact contract.
+"""
+
+import pytest
+
+from repro.control import ControlLoop
+from repro.eval.adaptive import (AdaptiveConfig, burst_arrival_process,
+                                 _make_system, _trace, run_adaptive)
+from repro.runtime import BatchingInferenceServer, BatchPolicy
+
+_CFG = AdaptiveConfig(num_requests=60, trace_steps=60,
+                      burst_window=(2.0, 4.0))
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_adaptive(_CFG)
+
+
+def test_every_submitted_request_is_accounted_for(reports):
+    """shed + completed + failed == submitted, both variants."""
+    for rep in reports.values():
+        counts = rep.stats.outcome_counts()
+        completed = sum(v for k, v in counts.items()
+                        if k not in ("failed", "shed"))
+        total = completed + counts["failed"] + counts.get("shed", 0)
+        assert total == len(rep.stats.records) == _CFG.num_requests
+
+
+def test_shed_records_never_occupied_the_pipeline(reports):
+    shed = [r for r in reports["controlled"].stats.records
+            if r.outcome == "shed"]
+    assert shed, "scenario is sized to force shedding"
+    for r in shed:
+        assert r.start == r.finish == r.arrival
+        assert r.inference_s == r.decision_s == r.switch_s == 0.0
+        assert not r.satisfied
+
+
+def test_degraded_requests_skip_the_decision_engine(reports):
+    """An admission-degraded request serves the min strategy with zero
+    decision cost — that is the whole point of degrading it."""
+    degraded = [r for r in reports["controlled"].stats.records
+                if r.outcome == "degraded"]
+    assert degraded, "scenario is sized to force degradation"
+    for r in degraded:
+        assert r.decision_s == 0.0
+        assert r.inference_s > 0.0
+
+
+def test_static_variant_is_untouched(reports):
+    static = reports["static"].stats
+    assert static.shed_count == 0
+    assert "shed" not in static.outcome_counts()
+    assert all(r.outcome != "degraded" for r in static.records)
+
+
+def test_empty_control_loop_is_a_pure_observer():
+    """A ControlLoop with no controllers ticks (observes) but must not
+    perturb serving: records are byte-identical to ``control=None``."""
+    cfg = AdaptiveConfig(num_requests=30, trace_steps=30,
+                         burst_window=(2.0, 3.0))
+    arrivals = burst_arrival_process(cfg.arrival_rate_hz, cfg.burst_window,
+                                     cfg.burst_factor)
+
+    def _run(control):
+        system = _make_system(cfg, control=control)
+        server = BatchingInferenceServer(
+            system, arrival_rate_hz=cfg.arrival_rate_hz,
+            policy=BatchPolicy(max_batch=cfg.max_batch, overlap=True),
+            seed=cfg.seed + 1, control=control, arrival_process=arrivals)
+        return server.run(num_requests=cfg.num_requests,
+                          condition_trace=_trace(cfg),
+                          trace_period_s=cfg.trace_period_s)
+
+    baseline = _run(None)
+    observer = ControlLoop([], period_s=0.5)
+    observed = _run(observer)
+    assert observer.ticks > 0, "the observer loop never fired"
+    assert observer.actions == []
+    assert observed.records == baseline.records
