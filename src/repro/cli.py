@@ -85,8 +85,22 @@ def _vit(args) -> str:
 
 
 def _chaos(args) -> str:
-    """Crash-and-recover chaos run: resilient vs static vs no-failover."""
+    """Chaos run: star crash-and-recover, or link-level mesh (--mesh)."""
     from dataclasses import replace
+
+    if args.mesh:
+        from .eval.mesh_chaos import (MeshChaosConfig, format_mesh_chaos,
+                                      run_mesh_chaos)
+
+        mcfg = MeshChaosConfig(seed=args.seed, slo_ms=args.slo_ms,
+                               topology=args.topology)
+        if args.requests is not None:
+            mcfg = replace(mcfg, num_requests=args.requests)
+        mreports = run_mesh_chaos(mcfg)
+        mrep = mreports["murmuration"]
+        return (format_mesh_chaos(mreports)
+                + f"\n\nresilient completion: {mrep.completion:.0%}, "
+                f"reroutes={mrep.reroutes}, failovers={mrep.failovers}")
 
     from .eval.chaos import ChaosConfig, format_chaos, run_chaos
 
@@ -216,7 +230,9 @@ def _links(args) -> str:
                     if link is None:
                         continue
                     name = rec["name"]
-                    if name.endswith("link_bytes_total"):
+                    if name.endswith(("link_bytes_total",
+                                      "link_reroutes_total",
+                                      "link_down_seconds")):
                         reg.counter(name, link=link).inc(rec["value"])
                     elif name.endswith("link_transfer_s"):
                         # rebuild the histogram's shape from its summary:
@@ -327,7 +343,8 @@ _COMMANDS = {
     "fig19": (_fig19, "model switch time"),
     "vit": (_vit, "extension: ViT patch-parallel inference"),
     "chaos": (_chaos,
-              "fault injection: crash-and-recover serving comparison"),
+              "fault injection: crash-and-recover serving; --mesh for "
+              "link-level faults on multi-hop topologies"),
     "serve": (_serve,
               "serving loop under load; --batch N for the batched pipeline"),
     "telemetry": (_telemetry,
@@ -365,6 +382,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="latency SLO in milliseconds")
             p.add_argument("--seed", type=int, default=0,
                            help="seed for arrivals/noise/fault draws")
+            p.add_argument("--mesh", action="store_true",
+                           help="link-level mesh chaos instead of star "
+                                "crash-and-recover")
+            p.add_argument("--topology", choices=("ring", "line", "mesh"),
+                           default="ring",
+                           help="mesh topology for --mesh (default ring)")
         elif name == "serve":
             p.add_argument("--requests", type=int, default=None,
                            help="requests to serve (default 120)")

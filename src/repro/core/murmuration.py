@@ -38,7 +38,8 @@ import numpy as np
 from ..devices.profiles import DeviceProfile
 from ..faults.health import DeviceHealth
 from ..faults.injector import FaultInjector
-from ..faults.resilience import ExecutionFailedError, ResilienceConfig
+from ..faults.resilience import (ExecutionFailedError, NoRouteError,
+                                 ResilienceConfig)
 from ..nas.accuracy_model import arch_accuracy, plan_accuracy_penalty
 from ..nas.arch import min_arch
 from ..nas.graph_builder import build_graph
@@ -136,7 +137,7 @@ class Murmuration:
     """SLO-aware distributed inference runtime."""
 
     def __init__(self, space: SearchSpace, devices: Sequence[DeviceProfile],
-                 condition: NetworkCondition, decision_engine,
+                 condition: Optional[NetworkCondition], decision_engine,
                  slo: Optional[SLO] = None,
                  supernet: Optional[Supernet] = None,
                  cache: Optional[StrategyCache] = None,
@@ -145,9 +146,18 @@ class Murmuration:
                  telemetry: Optional[Telemetry] = None,
                  faults: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 recorder=None, control=None):
+                 recorder=None, control=None, cluster=None):
         self.space = space
-        self.cluster = Cluster(list(devices), condition)
+        if cluster is not None:
+            # Caller-built topology (e.g. a MeshCluster): the runtime
+            # serves on it as-is.  ``condition`` defaults to the
+            # cluster's own end-to-end view, which for a mesh is the
+            # routed gateway->remote star equivalent.
+            self.cluster = cluster
+            if condition is None:
+                condition = cluster.condition
+        else:
+            self.cluster = Cluster(list(devices), condition)
         self.engine = decision_engine
         self.slo = slo
         self.cache = cache if cache is not None else StrategyCache()
@@ -178,6 +188,9 @@ class Murmuration:
                                              resilience=self.resilience)
                          if supernet is not None else None)
         self.records: List[InferenceRecord] = []
+        #: requests served over a backup mesh path (plan-only mode;
+        #: executable mode counts per delivery in the transport)
+        self.path_reroutes = 0
         self._now = 0.0
         self._min_strategy: Optional[Strategy] = None
         #: optional ControlLoop retuning the runtime from telemetry
@@ -252,11 +265,18 @@ class Murmuration:
 
     # -- decision helpers --------------------------------------------------
     def _blocked_devices(self, plan) -> List[int]:
-        """Plan devices the circuit breaker currently rejects."""
+        """Plan devices the circuit breakers currently reject.
+
+        A device is blocked when its own circuit is open *or* the
+        gateway-pair link circuit is open — a healthy device behind a
+        dead path is just as unusable for placement.
+        """
         if self.health is None:
             return []
         return [d for d in plan.devices_used()
-                if d != 0 and not self.health.allow(d, self._now)]
+                if d != 0 and not (self.health.allow(d, self._now)
+                                   and self.health.allow_link(
+                                       0, d, self._now))]
 
     def _reroute(self, strategy: Strategy,
                  condition: NetworkCondition) -> Strategy:
@@ -267,7 +287,8 @@ class Murmuration:
         straggler scales never leak in).
         """
         allowed = [d for d in range(1, self.cluster.num_devices)
-                   if self.health.allow(d, self._now)]
+                   if self.health.allow(d, self._now)
+                   and self.health.allow_link(0, d, self._now)]
         target = max(allowed + [0],
                      key=lambda d: self.cluster.device(d).effective_flops)
         graph = build_graph(strategy.arch, self.space)
@@ -501,13 +522,33 @@ class Murmuration:
                 self._m_degraded.inc()
             elif outcome == "failed":
                 self._m_failed.inc()
-        if self.health is not None:
-            for dev in self.health.drain_opened():
-                n = self.cache.invalidate(
-                    lambda s, d=dev: d in s.plan.devices_used())
-                if self.telemetry is not None and n:
-                    self._m_cache_invalidated.inc(n)
+        self._drain_health()
         return record
+
+    def _drain_health(self) -> None:
+        """Invalidate cached strategies behind newly opened circuits.
+
+        Device circuits condemn every plan using the device; link
+        circuits (mesh) condemn plans using either non-gateway endpoint
+        of the pair — the placement may be fine once the path recovers,
+        so the strategy is merely dropped from the cache, not banned.
+        """
+        if self.health is None:
+            return
+        for dev in self.health.drain_opened():
+            n = self.cache.invalidate(
+                lambda s, d=dev: d in s.plan.devices_used())
+            if self.telemetry is not None and n:
+                self._m_cache_invalidated.inc(n)
+        for a, b in self.health.drain_opened_links():
+            ends = frozenset(d for d in (a, b) if d != 0)
+            if not ends:
+                continue
+            n = self.cache.invalidate(
+                lambda s, e=ends: bool(e.intersection(
+                    s.plan.devices_used())))
+            if self.telemetry is not None and n:
+                self._m_cache_invalidated.inc(n)
 
     def infer_batch(self, xs: Optional[Sequence[Optional[np.ndarray]]] = None,
                     batch_size: Optional[int] = None,
@@ -669,12 +710,7 @@ class Murmuration:
         self._now = sim_t
         if self.telemetry is not None and switched:
             self._m_switch_s.observe(switch_time)
-        if self.health is not None:
-            for dev in self.health.drain_opened():
-                n_inv = self.cache.invalidate(
-                    lambda s, d=dev: d in s.plan.devices_used())
-                if self.telemetry is not None and n_inv:
-                    self._m_cache_invalidated.inc(n_inv)
+        self._drain_health()
         return BatchInferenceResult(
             items=items, decision_time_s=decision.decision_time_s,
             switch_time_s=switch_time, decision_start_s=start,
@@ -745,6 +781,8 @@ class Murmuration:
                 if exhausted is None:
                     for d in remotes:
                         health.record_success(d, now)
+                        health.record_link_success(0, d, now)
+                    self._note_plan_reroutes(remotes)
                     if replanned:
                         accuracy = (arch_accuracy(arch, self.space)
                                     - plan_accuracy_penalty(plan))
@@ -761,6 +799,7 @@ class Murmuration:
                 penalty += res.retry.give_up_cost()
                 retries += res.retry.max_retries
             health.record_failure(dead, now)
+            health.record_link_failure(0, dead, now)
             if not res.failover:
                 return (penalty, 0.0, "failed", retries, failovers,
                         _PlanState(arch, plan, degraded, replanned))
@@ -781,6 +820,39 @@ class Murmuration:
                 graph = build_graph(arch, self.space)
                 plan = single_device_plan(graph, device=0)
             replanned = True
+
+    def _note_plan_reroutes(self, remotes: List[int]) -> None:
+        """Plan-only stand-in for the transport's reroute accounting.
+
+        Executable mode counts per *delivery* inside
+        :meth:`~repro.runtime.rpc.Transport._note_route`; plan-only mode
+        has no transport traffic, so count one reroute per (request,
+        remote) served over a backup path.  Only runs when the executor
+        is absent, so the two never double-count.
+        """
+        route_info = getattr(self.cluster, "route_info", None)
+        if route_info is None:
+            return
+        for d in remotes:
+            try:
+                info = route_info(0, d)
+            except NoRouteError:
+                continue
+            if not info.rerouted:
+                continue
+            self.path_reroutes += 1
+            if self.telemetry is None:
+                continue
+            reg = getattr(self, "_transport_reg", None)
+            if reg is None:
+                reg = self.telemetry.registry.child("transport")
+                self._transport_reg = reg
+            reg.counter("reroute_total",
+                        help="deliveries that travelled a non-base path",
+                        ).inc()
+            reg.counter("link_reroutes_total",
+                        help="rerouted deliveries per device pair",
+                        link=f"0-{d}").inc()
 
     def _loss_penalty(self, remotes: List[int],
                       num_transfers: int) -> Tuple[float, int, Optional[int]]:

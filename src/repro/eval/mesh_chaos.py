@@ -1,0 +1,229 @@
+"""Mesh chaos scenario: link-level faults on multi-hop topologies.
+
+The star chaos scenario (:mod:`repro.eval.chaos`) kills *devices*; this
+one kills *paths*.  A Poisson request stream is served over a multi-hop
+mesh (ring, line, or partial mesh) while the world loses links: a hard
+:class:`~repro.faults.schedule.LinkFailure` on the gateway's primary
+edge, a Gilbert–Elliott :class:`~repro.faults.schedule.LinkFlap` burst
+on the same edge, and a :class:`~repro.faults.schedule.CorrelatedFailure`
+that takes a relay device and its incident links down atomically.
+
+Three variants serve the identical world:
+
+* ``murmuration`` — fault-aware routing *and* the full resilience
+  ladder: transfers transparently fail over to the next-best surviving
+  path (paying its honest latency), and when no path survives the
+  executor replans/degrades;
+* ``no-failover`` — rerouting enabled, replanning and degradation
+  disabled: isolates how much of the resilience is pure routing;
+* ``no-reroute`` — static routing tables (fault-free base paths only)
+  and no failover: the ablation.  A request whose path crosses a dead
+  link fails, which is what a star-minded runtime does on a mesh.
+
+Everything is seeded — arrivals, monitor noise, flap bursts — so a
+fixed configuration reproduces identical numbers, and with the default
+pinned ``decision_time_s`` the recordings are byte-stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+from ..core.decision import SearchDecisionEngine
+from ..core.murmuration import Murmuration
+from ..core.slo import SLO
+from ..devices.profiles import desktop_gtx1080, jetson_class, rpi4
+from ..faults.injector import FaultInjector
+from ..faults.resilience import ResilienceConfig
+from ..faults.schedule import (CorrelatedFailure, FaultSchedule, LinkFailure,
+                               LinkFlap)
+from ..nas.search_space import MBV3_SPACE
+from ..netsim.mesh import (MeshCluster, line_topology, partial_mesh_topology,
+                           ring_topology)
+from ..runtime.server import InferenceServer, ServingStats
+from ..telemetry.recorder import RunRecorder
+from .chaos import _recovery_s
+from .serving_load import _PinnedTimeEngine
+
+__all__ = ["MeshChaosConfig", "MeshChaosReport", "mesh_chaos_schedule",
+           "build_mesh", "run_mesh_chaos", "format_mesh_chaos"]
+
+TOPOLOGIES = ("ring", "line", "mesh")
+
+
+@dataclass(frozen=True)
+class MeshChaosConfig:
+    """One mesh chaos serving run (all times in simulated seconds)."""
+
+    #: "ring" (two disjoint routes), "line" (no alternative — resilience
+    #: must come from degradation), or "mesh" (ring + chord)
+    topology: str = "ring"
+    num_requests: int = 60
+    arrival_rate_hz: float = 4.0
+    slo_ms: float = 400.0
+    seed: int = 0
+    bandwidth_mbps: float = 150.0
+    delay_ms: float = 10.0
+    #: hard outage of the gateway's primary edge (0, 1)
+    link_fail_window: tuple = (1.5, 8.0)
+    #: Gilbert–Elliott flap burst on the same edge
+    flap_window: tuple = (8.5, 12.5)
+    flap_p_fail: float = 0.7
+    flap_p_recover: float = 0.25
+    flap_step_s: float = 0.25
+    #: relay blast radius: device 2 and its incident links, atomically
+    blast_window: tuple = (13.0, 15.5)
+    n_random_archs: int = 4
+    #: fixed per-miss decision cost (None = measure wall clock; forfeits
+    #: byte-stable recordings)
+    decision_time_s: Optional[float] = 0.03
+
+    def __post_init__(self):
+        if self.topology not in TOPOLOGIES:
+            raise ValueError(
+                f"topology must be one of {TOPOLOGIES}, "
+                f"got {self.topology!r}")
+
+
+@dataclass
+class MeshChaosReport:
+    """Per-variant outcome of a mesh chaos run."""
+
+    name: str
+    topology: str
+    stats: ServingStats
+    #: simulated seconds from the last fault clearing until the first
+    #: clean ("ok" + SLO-satisfied) request finished; None if never
+    recovery_s: Optional[float]
+    retries: int
+    failovers: int
+    #: requests served over a backup path (transport reroute count)
+    reroutes: int
+    #: populated when the run was captured (``record=True``)
+    recorder: Optional[RunRecorder] = None
+
+    @property
+    def compliance(self) -> float:
+        return self.stats.slo_compliance
+
+    @property
+    def completion(self) -> float:
+        return self.stats.completion_rate
+
+    @property
+    def outcomes(self) -> dict:
+        return self.stats.outcome_counts()
+
+
+def build_mesh(cfg: MeshChaosConfig, reroute: bool = True) -> MeshCluster:
+    """The scenario's four-device swarm on the configured topology.
+
+    Device 0 (gateway) and device 3 (relay) are Raspberry Pis; device 1
+    is the GPU desktop every nominal plan wants to reach; device 2 is a
+    Jetson.  On the ring the gateway has two disjoint routes to the
+    GPU (0-1 and 0-3-2-1); the line has exactly one; the partial mesh
+    adds a (1, 3) chord for a third.
+    """
+    devices = [rpi4(), desktop_gtx1080(), jetson_class(), rpi4()]
+    if cfg.topology == "line":
+        return line_topology(devices, cfg.bandwidth_mbps, cfg.delay_ms,
+                             reroute=reroute)
+    if cfg.topology == "mesh":
+        return partial_mesh_topology(devices, cfg.bandwidth_mbps,
+                                     cfg.delay_ms, chords=((1, 3),),
+                                     reroute=reroute)
+    return ring_topology(devices, cfg.bandwidth_mbps, cfg.delay_ms,
+                         reroute=reroute)
+
+
+def mesh_chaos_schedule(cfg: MeshChaosConfig) -> FaultSchedule:
+    """The scenario's ground-truth fault trace (all link-addressed)."""
+    return FaultSchedule([
+        LinkFailure(cfg.link_fail_window[0], cfg.link_fail_window[1],
+                    a=0, b=1),
+        LinkFlap(cfg.flap_window[0], cfg.flap_window[1], a=0, b=1,
+                 p_fail=cfg.flap_p_fail, p_recover=cfg.flap_p_recover,
+                 step_s=cfg.flap_step_s, seed=cfg.seed),
+        CorrelatedFailure(cfg.blast_window[0], cfg.blast_window[1],
+                          devices=(2,), links=((1, 2), (2, 3)),
+                          domain="relay"),
+    ])
+
+
+def _run_variant(name: str, cfg: MeshChaosConfig,
+                 resilience: ResilienceConfig, reroute: bool,
+                 telemetry=None, record: bool = False) -> MeshChaosReport:
+    mesh = build_mesh(cfg, reroute=reroute)
+    schedule = mesh_chaos_schedule(cfg)
+    faults = FaultInjector(schedule, seed=cfg.seed, telemetry=telemetry)
+    devices = list(mesh.devices)
+    engine = SearchDecisionEngine(MBV3_SPACE, devices,
+                                  n_random_archs=cfg.n_random_archs,
+                                  seed=cfg.seed)
+    if cfg.decision_time_s is not None:
+        engine = _PinnedTimeEngine(engine, cfg.decision_time_s)
+    recorder = (RunRecorder("mesh_chaos", variant=name, config=asdict(cfg))
+                if record else None)
+    system = Murmuration(
+        MBV3_SPACE, devices, None, engine,
+        slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
+        monitor_noise=0.02, seed=cfg.seed, telemetry=telemetry,
+        faults=faults, resilience=resilience, recorder=recorder,
+        cluster=mesh)
+    server = InferenceServer(system, arrival_rate_hz=cfg.arrival_rate_hz,
+                             seed=cfg.seed + 1, telemetry=telemetry,
+                             recorder=recorder)
+    stats = server.run(num_requests=cfg.num_requests)
+    if recorder is not None:
+        if telemetry is not None:
+            recorder.capture_timelines(telemetry.timelines)
+        recorder.finish(stats)
+    return MeshChaosReport(
+        name=name, topology=cfg.topology, stats=stats,
+        recovery_s=_recovery_s(stats, schedule.horizon),
+        retries=sum(r.retries for r in stats.records),
+        failovers=sum(r.failovers for r in stats.records),
+        reroutes=system.path_reroutes, recorder=recorder)
+
+
+def run_mesh_chaos(cfg: MeshChaosConfig = MeshChaosConfig(),
+                   telemetry=None,
+                   record: bool = False) -> Dict[str, MeshChaosReport]:
+    """Run all three variants on the identical world; keyed by name.
+
+    ``telemetry`` (optional) instruments only the resilient variant —
+    attaching one registry to all three would conflate their counters.
+    ``record=True`` attaches a RunRecorder per variant; with the default
+    pinned ``decision_time_s`` the recordings are byte-stable functions
+    of the seeds.
+    """
+    return {
+        "murmuration": _run_variant(
+            "murmuration", cfg, ResilienceConfig(), reroute=True,
+            telemetry=telemetry, record=record),
+        "no-failover": _run_variant(
+            "no-failover", cfg,
+            ResilienceConfig(failover=False, degradation=False),
+            reroute=True, record=record),
+        "no-reroute": _run_variant(
+            "no-reroute", cfg,
+            ResilienceConfig(failover=False, degradation=False),
+            reroute=False, record=record),
+    }
+
+
+def format_mesh_chaos(reports: Dict[str, MeshChaosReport]) -> str:
+    first = next(iter(reports.values()))
+    lines = [f"mesh chaos on '{first.topology}' topology",
+             f"{'variant':>12s}{'complete':>10s}{'comply':>8s}"
+             f"{'ok':>5s}{'retr':>6s}{'degr':>6s}{'fail':>6s}"
+             f"{'reroute':>9s}{'recovery':>10s}"]
+    for rep in reports.values():
+        o = rep.outcomes
+        rec = f"{rep.recovery_s:.2f}s" if rep.recovery_s is not None else "-"
+        lines.append(
+            f"{rep.name:>12s}{rep.completion:>10.0%}{rep.compliance:>8.0%}"
+            f"{o['ok']:>5d}{o['retried']:>6d}{o['degraded']:>6d}"
+            f"{o['failed']:>6d}{rep.reroutes:>9d}{rec:>10s}")
+    return "\n".join(lines)

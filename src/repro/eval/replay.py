@@ -229,6 +229,12 @@ def rerecord(rec: Recording) -> RunRecorder:
         cfg = ChaosConfig(**{k: tuple(v) if isinstance(v, list) else v
                              for k, v in config.items()})
         report = run_chaos(cfg, record=True).get(rec.variant)
+    elif scenario == "mesh_chaos":
+        from .mesh_chaos import MeshChaosConfig, run_mesh_chaos
+        mcfg = MeshChaosConfig(
+            **{k: tuple(v) if isinstance(v, list) else v
+               for k, v in config.items()})
+        report = run_mesh_chaos(mcfg, record=True).get(rec.variant)
     else:
         raise ValueError(f"cannot re-record unknown scenario {scenario!r}")
     if report is None or report.recorder is None:

@@ -29,10 +29,12 @@ fault-free build, same discipline as ``telemetry=None``::
 from .health import CircuitState, DeviceHealth
 from .injector import FaultInjector
 from .resilience import (DeviceUnreachableError, ExecutionFailedError,
-                         ResilienceConfig, RetryPolicy, TransportError)
-from .schedule import (DeviceCrash, FaultEvent, FaultSchedule,
-                       LinkDegradation, MessageLoss, Partition, Straggler,
-                       chaos_schedule, crash_and_recover_schedule)
+                         NoRouteError, ResilienceConfig, RetryPolicy,
+                         TransportError)
+from .schedule import (CorrelatedFailure, DeviceCrash, FaultEvent,
+                       FaultSchedule, LinkDegradation, LinkFailure, LinkFlap,
+                       MessageLoss, Partition, Straggler, chaos_schedule,
+                       crash_and_recover_schedule)
 
 __all__ = [
     "FaultEvent",
@@ -41,6 +43,9 @@ __all__ = [
     "LinkDegradation",
     "MessageLoss",
     "Partition",
+    "LinkFailure",
+    "LinkFlap",
+    "CorrelatedFailure",
     "FaultSchedule",
     "crash_and_recover_schedule",
     "chaos_schedule",
@@ -50,6 +55,7 @@ __all__ = [
     "RetryPolicy",
     "ResilienceConfig",
     "TransportError",
+    "NoRouteError",
     "DeviceUnreachableError",
     "ExecutionFailedError",
 ]

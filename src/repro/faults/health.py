@@ -16,12 +16,19 @@ State machine (per remote device)::
     HALF_OPEN --failure--> OPEN (cooldown restarts)
 
 The gateway (device 0) is the coordinator itself and is always CLOSED.
+
+On a mesh the same machine also runs per device *pair*: a link breaker
+(keyed on the unordered endpoint pair) remembers how sends between two
+specific devices went, so "the path to device 2 via this route is dead"
+is tracked separately from "device 2 is dead".  Link breakers are
+created lazily on first observation — a pair that never fails costs
+nothing.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..telemetry import Telemetry
 
@@ -65,6 +72,9 @@ class DeviceHealth:
         self.cooldown_s = cooldown_s
         self._breakers = [_Breaker() for _ in range(num_devices)]
         self._newly_opened: List[int] = []
+        # per device-pair breakers, created lazily on first observation
+        self._link_breakers: Dict[Tuple[int, int], _Breaker] = {}
+        self._newly_opened_links: List[Tuple[int, int]] = []
         self.telemetry = telemetry
         if telemetry is not None:
             self._reg = telemetry.registry.child("health")
@@ -158,4 +168,81 @@ class DeviceHealth:
         through newly opened devices.
         """
         out, self._newly_opened = self._newly_opened, []
+        return out
+
+    # -- per-link breakers (mesh) -----------------------------------------
+    @staticmethod
+    def _pair(a: int, b: int) -> Tuple[int, int]:
+        return (a, b) if a <= b else (b, a)
+
+    def _link_breaker(self, a: int, b: int) -> _Breaker:
+        return self._link_breakers.setdefault(self._pair(a, b), _Breaker())
+
+    def _link_transition(self, pair: Tuple[int, int],
+                         to: CircuitState) -> None:
+        if self.telemetry is None:
+            return
+        key = (pair, to.value)
+        counter = self._m_transitions.get(key)
+        if counter is None:
+            counter = self._reg.counter(
+                "link_circuit_transitions_total",
+                help="per-link circuit-breaker state changes",
+                link=f"{pair[0]}-{pair[1]}", to=to.value)
+            self._m_transitions[key] = counter
+        counter.inc()
+
+    def link_state(self, a: int, b: int, now: float) -> CircuitState:
+        """Current state of the pair's breaker (CLOSED if never observed),
+        resolving open -> half-open on cooldown expiry."""
+        br = self._link_breakers.get(self._pair(a, b))
+        if br is None:
+            return CircuitState.CLOSED
+        if (br.state is CircuitState.OPEN
+                and now >= br.opened_at + self.cooldown_s):
+            br.state = CircuitState.HALF_OPEN
+            self._link_transition(self._pair(a, b), CircuitState.HALF_OPEN)
+        return br.state
+
+    def allow_link(self, a: int, b: int, now: float) -> bool:
+        """May the runtime route a transfer between ``a`` and ``b``?"""
+        if a == b:
+            return True
+        return self.link_state(a, b, now) is not CircuitState.OPEN
+
+    def record_link_failure(self, a: int, b: int, now: float) -> bool:
+        """Record one failed delivery between a pair; returns True if
+        the pair's circuit newly opened."""
+        if a == b:
+            return False
+        pair = self._pair(a, b)
+        br = self._link_breaker(a, b)
+        state = self.link_state(a, b, now)
+        br.consecutive_failures += 1
+        opens = (state is CircuitState.HALF_OPEN
+                 or (state is CircuitState.CLOSED
+                     and br.consecutive_failures >= self.failure_threshold))
+        if opens and state is not CircuitState.OPEN:
+            br.state = CircuitState.OPEN
+            br.opened_at = now
+            self._newly_opened_links.append(pair)
+            self._link_transition(pair, CircuitState.OPEN)
+            return True
+        return False
+
+    def record_link_success(self, a: int, b: int, now: float) -> None:
+        if a == b:
+            return
+        br = self._link_breakers.get(self._pair(a, b))
+        if br is None:
+            return  # nothing to reset; don't allocate on the happy path
+        state = self.link_state(a, b, now)
+        br.consecutive_failures = 0
+        if state is not CircuitState.CLOSED:
+            br.state = CircuitState.CLOSED
+            self._link_transition(self._pair(a, b), CircuitState.CLOSED)
+
+    def drain_opened_links(self) -> List[Tuple[int, int]]:
+        """Device pairs whose link circuit opened since the last drain."""
+        out, self._newly_opened_links = self._newly_opened_links, []
         return out

@@ -23,7 +23,8 @@ import numpy as np
 
 from ..netsim.topology import Cluster, NetworkCondition
 from ..telemetry import Telemetry
-from .schedule import DeviceCrash, FaultEvent, FaultSchedule, Partition
+from .schedule import (CorrelatedFailure, DeviceCrash, FaultEvent,
+                       FaultSchedule, Partition)
 
 __all__ = ["FaultInjector"]
 
@@ -40,6 +41,11 @@ class FaultInjector:
         self.now = 0.0
         self._active: frozenset = frozenset()
         self._applied_key: Optional[tuple] = None
+        # bound by apply_to() when the cluster has a link surface; lets
+        # reachable() answer path-level questions and advance() meter
+        # per-link downtime
+        self._mesh = None
+        self._m_link_down: Dict[Tuple[int, int], object] = {}
         self.telemetry = telemetry
         if telemetry is not None:
             self._reg = telemetry.registry.child("faults")
@@ -56,7 +62,7 @@ class FaultInjector:
         for e in self.schedule:
             if isinstance(e, DeviceCrash):
                 out.add(e.device)
-            elif isinstance(e, Partition):
+            elif isinstance(e, (Partition, CorrelatedFailure)):
                 out.update(e.devices)
         return out
 
@@ -64,6 +70,9 @@ class FaultInjector:
     def advance(self, now: float) -> List[FaultEvent]:
         """Move the injector's clock; returns events that just became
         active (fault onsets) for logging/telemetry."""
+        if (self.telemetry is not None and self._mesh is not None
+                and now > self.now):
+            self._meter_link_downtime(float(now) - self.now)
         self.now = float(now)
         active = frozenset(self.schedule.active(self.now))
         started = active - self._active
@@ -83,14 +92,52 @@ class FaultInjector:
                 gauge.set(0.0 if dev in iso else 1.0)
         return sorted(started, key=lambda e: (e.start, e.kind))
 
+    def _meter_link_downtime(self, dt_s: float) -> None:
+        """Credit ``dt_s`` of downtime to every link down at the current
+        clock (piecewise-constant sampling between ``advance`` calls —
+        a flap shorter than one serving step can be under-counted, which
+        is the same resolution the serving loop itself experiences)."""
+        for edge in self.schedule.down_links(self.now,
+                                             self._mesh.base_edges):
+            counter = self._m_link_down.get(edge)
+            if counter is None:
+                counter = self._reg.counter(
+                    "link_down_seconds",
+                    help="simulated seconds each link spent down",
+                    link=f"{edge[0]}-{edge[1]}")
+                self._m_link_down[edge] = counter
+            counter.inc(dt_s)
+
     # -- world application ------------------------------------------------
     def apply_to(self, cluster: Cluster,
-                 base_condition: NetworkCondition) -> None:
+                 base_condition: Optional[NetworkCondition] = None) -> None:
         """Overwrite the cluster's true state with the faulted view.
 
+        A star :class:`Cluster` gets the degraded condition vector; a
+        :class:`~repro.netsim.mesh.MeshCluster` (anything exposing
+        ``apply_link_faults``) gets the link-level overlay — down edges
+        leave its routing graph, degraded edges are repriced — and the
+        mesh invalidates its own route cache when the overlay changes.
+
         Idempotent per (active events, base condition): repeated calls
-        between transitions skip the link rebuild.
+        between transitions skip the rebuild.
         """
+        if hasattr(cluster, "apply_link_faults"):
+            self._mesh = cluster
+            edges = cluster.base_edges
+            down = self.schedule.down_links(self.now, edges)
+            degraded = self.schedule.link_degradations(self.now, edges)
+            # key on the computed overlay, not the active event set: a
+            # LinkFlap transitions up/down *within* one active window
+            key = (down, tuple(sorted(degraded.items())))
+            if key == self._applied_key:
+                return
+            cluster.apply_link_faults(down=down, degraded=degraded)
+            cluster.compute_scale = self.schedule.compute_scale(self.now)
+            self._applied_key = key
+            return
+        if base_condition is None:
+            raise TypeError("a star cluster needs its base condition")
         key = (self._active, base_condition)
         if key == self._applied_key:
             return
@@ -103,7 +150,18 @@ class FaultInjector:
         return device in self.schedule.unreachable_devices(self.now)
 
     def reachable(self, src: int, dst: int) -> bool:
-        return self.schedule.reachable(src, dst, self.now)
+        """Can a message physically travel ``src -> dst`` right now?
+
+        Device-level first (crashed/partitioned endpoints); on a mesh,
+        additionally requires a surviving path under the current fault
+        overlay — no route means no delivery even with both endpoints
+        alive.
+        """
+        if not self.schedule.reachable(src, dst, self.now):
+            return False
+        if self._mesh is not None and src != dst:
+            return self._mesh.has_route(src, dst)
+        return True
 
     def loss_prob(self, src: int, dst: int) -> float:
         return self.schedule.loss_prob(src, dst, self.now)

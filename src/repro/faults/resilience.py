@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 __all__ = ["RetryPolicy", "ResilienceConfig", "TransportError",
-           "DeviceUnreachableError", "ExecutionFailedError"]
+           "NoRouteError", "DeviceUnreachableError", "ExecutionFailedError"]
 
 
 @dataclass(frozen=True)
@@ -79,6 +79,31 @@ class ResilienceConfig:
 
 class TransportError(RuntimeError):
     """Base class for data-plane delivery failures."""
+
+
+class NoRouteError(TransportError):
+    """The routing layer has no surviving path between two devices.
+
+    Raised by :meth:`~repro.netsim.mesh.MeshCluster.transfer_time` when
+    every path between ``src`` and ``dst`` crosses a failed link (or the
+    pair was never connected).  It is the mesh-level sibling of
+    :class:`DeviceUnreachableError`: the executor treats both as "this
+    endpoint cannot be used right now" and fails over, charging the
+    retry schedule's give-up cost — the sender still discovers the dead
+    path by timing out, even though the local routing table reported it
+    first.
+    """
+
+    def __init__(self, src: int, dst: int):
+        super().__init__(
+            f"no surviving route between device {src} and device {dst}")
+        self.src = src
+        self.dst = dst
+
+    @property
+    def device(self) -> int:
+        """The blamed endpoint (never the gateway — that is the caller)."""
+        return self.dst if self.dst != 0 else self.src
 
 
 class DeviceUnreachableError(TransportError):

@@ -26,8 +26,16 @@ import numpy as np
 from ..netsim.topology import NetworkCondition
 
 __all__ = ["FaultEvent", "DeviceCrash", "Straggler", "LinkDegradation",
-           "MessageLoss", "Partition", "FaultSchedule",
+           "MessageLoss", "Partition", "LinkFailure", "LinkFlap",
+           "CorrelatedFailure", "FaultSchedule",
            "crash_and_recover_schedule", "chaos_schedule"]
+
+Edge = Tuple[int, int]
+
+
+def _norm_edge(a: int, b: int) -> Edge:
+    """Canonical (sorted) form of an undirected link."""
+    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -85,17 +93,31 @@ class Straggler(FaultEvent):
 
 @dataclass(frozen=True)
 class LinkDegradation(FaultEvent):
-    """One remote link collapses: bandwidth scaled by ``bw_factor``,
-    ``extra_delay_ms`` added (interference, congestion, rate limiting)."""
+    """A link collapses: bandwidth scaled by ``bw_factor``,
+    ``extra_delay_ms`` added (interference, congestion, rate limiting).
+
+    Star-addressed (the default): ``device=k`` degrades remote ``k``'s
+    link to the switch — on a mesh this reads as "device k's radio
+    degrades", hitting every edge incident to ``k``.  Mesh-addressed:
+    ``link=(a, b)`` pins the event to that one edge; on a star cluster a
+    gateway-incident ``link=(0, k)`` degrades remote ``k`` and
+    remote-remote links are ignored (the star has no such edge).
+    """
 
     device: int = 1
     bw_factor: float = 1.0
     extra_delay_ms: float = 0.0
+    link: Optional[Edge] = None
     kind = "degradation"
 
     def __post_init__(self):
         super().__post_init__()
-        if self.device < 1:
+        if self.link is not None:
+            a, b = self.link
+            if a == b or a < 0 or b < 0:
+                raise ValueError("link must join two distinct devices")
+            object.__setattr__(self, "link", _norm_edge(int(a), int(b)))
+        elif self.device < 1:
             raise ValueError("degradation applies to a remote link (id >= 1)")
         if not (0.0 < self.bw_factor <= 1.0):
             raise ValueError("bw_factor must be in (0, 1]")
@@ -143,6 +165,119 @@ class Partition(FaultEvent):
                              "away from itself")
 
 
+@dataclass(frozen=True)
+class LinkFailure(FaultEvent):
+    """One mesh link is hard-down for the whole window (cable pull,
+    radio shadowing, switch-port death).
+
+    Link-addressed, so only meaningful on a mesh cluster; a star
+    schedule models the same thing as :class:`DeviceCrash` because the
+    star has exactly one path per device.
+    """
+
+    a: int = 0
+    b: int = 1
+    kind = "link_failure"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.a == self.b or self.a < 0 or self.b < 0:
+            raise ValueError("a link joins two distinct devices")
+
+    @property
+    def edge(self) -> Edge:
+        return _norm_edge(self.a, self.b)
+
+
+@dataclass(frozen=True)
+class LinkFlap(FaultEvent):
+    """A link flaps through correlated up/down bursts (Gilbert–Elliott).
+
+    Inside ``[start, end)`` the link walks a two-state Markov chain
+    sampled every ``step_s`` simulated seconds: from UP it fails with
+    ``p_fail``, from DOWN it recovers with ``p_recover``.  Small
+    ``p_recover`` yields long correlated outage bursts — the signature
+    of marginal radio links — rather than i.i.d. loss.
+
+    The chain starts DOWN at ``start`` (the event's onset *is* the
+    first outage) and the state sequence is memoized from a seeded
+    generator, so the same event replays the same burst pattern no
+    matter in which order times are queried.
+    """
+
+    a: int = 0
+    b: int = 1
+    p_fail: float = 0.3
+    p_recover: float = 0.3
+    step_s: float = 0.5
+    seed: int = 0
+    kind = "link_flap"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if self.a == self.b or self.a < 0 or self.b < 0:
+            raise ValueError("a link joins two distinct devices")
+        if not (0.0 < self.p_fail <= 1.0 and 0.0 < self.p_recover <= 1.0):
+            raise ValueError("transition probabilities must be in (0, 1]")
+        if self.step_s <= 0:
+            raise ValueError("step must be positive")
+        # memoized chain state; non-field attrs stay out of eq/hash
+        object.__setattr__(self, "_states", [False])  # False = DOWN
+        object.__setattr__(self, "_rng",
+                           np.random.default_rng(self.seed))
+
+    @property
+    def edge(self) -> Edge:
+        return _norm_edge(self.a, self.b)
+
+    def down_at(self, now: float) -> bool:
+        """Is the link down at ``now``?  (False outside the window.)"""
+        if not self.active(now):
+            return False
+        k = int((now - self.start) / self.step_s)
+        states: List[bool] = self._states  # type: ignore[attr-defined]
+        while len(states) <= k:  # extend sequentially: order-independent
+            up = states[-1]
+            p = self._rng.random()  # type: ignore[attr-defined]
+            states.append(not (p < self.p_fail) if up
+                          else (p < self.p_recover))
+        return not states[k]
+
+
+@dataclass(frozen=True)
+class CorrelatedFailure(FaultEvent):
+    """A failure *domain*: one shared dependency (rack PDU, switch,
+    relay node) dies and takes its devices and links down atomically.
+
+    Unlike independent :class:`DeviceCrash` + :class:`LinkFailure`
+    events, everything in the blast radius fails and recovers on the
+    same clock edge — the correlation is what defeats redundancy sized
+    for independent faults.
+    """
+
+    devices: Tuple[int, ...] = ()
+    links: Tuple[Edge, ...] = ()
+    domain: str = "rack"
+    kind = "correlated"
+
+    def __post_init__(self):
+        super().__post_init__()
+        if not self.devices and not self.links:
+            raise ValueError("a failure domain must contain at least one "
+                             "device or link")
+        if any(d < 1 for d in self.devices):
+            raise ValueError("the gateway (device 0) cannot be in a failure "
+                             "domain — it is the coordinator")
+        object.__setattr__(
+            self, "devices", tuple(int(d) for d in self.devices))
+        norm = []
+        for a, b in self.links:
+            if a == b or a < 0 or b < 0:
+                raise ValueError("a link joins two distinct devices")
+            norm.append(_norm_edge(int(a), int(b)))
+        object.__setattr__(self, "links", tuple(norm))
+
+
 class FaultSchedule:
     """An immutable, queryable set of timed fault events."""
 
@@ -175,9 +310,14 @@ class FaultSchedule:
         return tuple(e for e in self.events if e.active(now))
 
     def down_devices(self, now: float) -> frozenset:
-        """Devices that are crashed at ``now``."""
-        return frozenset(e.device for e in self.events
-                         if isinstance(e, DeviceCrash) and e.active(now))
+        """Devices that are crashed at ``now`` (individually or as part
+        of an active failure domain)."""
+        out = {e.device for e in self.events
+               if isinstance(e, DeviceCrash) and e.active(now)}
+        for e in self.events:
+            if isinstance(e, CorrelatedFailure) and e.active(now):
+                out.update(e.devices)
+        return frozenset(out)
 
     def unreachable_devices(self, now: float) -> frozenset:
         """Crashed or partitioned-away devices at ``now``."""
@@ -186,6 +326,67 @@ class FaultSchedule:
             if isinstance(e, Partition) and e.active(now):
                 out.update(e.devices)
         return frozenset(out)
+
+    # -- mesh (link-level) queries ----------------------------------------
+    def down_links(self, now: float,
+                   edges: Optional[Sequence[Edge]] = None) -> frozenset:
+        """Links that are hard-down at ``now``.
+
+        Collects explicitly failed edges (:class:`LinkFailure`, a
+        :class:`LinkFlap` currently in its DOWN state, a
+        :class:`CorrelatedFailure`'s links).  When the mesh's ``edges``
+        are supplied, every edge incident to an unreachable device is
+        down too: a crashed or partitioned relay cannot forward, so a
+        link-level partition must sever *all* of a device's edges —
+        never silently collapse to the star's "remote k is gone"
+        semantics.
+        """
+        out = set()
+        for e in self.events:
+            if not e.active(now):
+                continue
+            if isinstance(e, LinkFailure):
+                out.add(e.edge)
+            elif isinstance(e, LinkFlap) and e.down_at(now):
+                out.add(e.edge)
+            elif isinstance(e, CorrelatedFailure):
+                out.update(e.links)
+        if edges is not None:
+            iso = self.unreachable_devices(now)
+            if iso:
+                out.update(_norm_edge(a, b) for a, b in edges
+                           if a in iso or b in iso)
+        return frozenset(out)
+
+    def link_degradations(self, now: float,
+                          edges: Sequence[Edge],
+                          ) -> Dict[Edge, Tuple[float, float]]:
+        """Active per-edge ``(bw_factor, extra_delay_ms)`` over ``edges``.
+
+        Mesh-addressed events (``link=(a, b)``) hit exactly that edge;
+        star-addressed events (``device=k``) hit every edge incident to
+        ``k`` — the device's radio degrades, so every path through it
+        pays.  Overlapping events compound (factors multiply, delays
+        add), matching the star's :meth:`degrade` semantics.
+        """
+        edge_set = {_norm_edge(a, b) for a, b in edges}
+        out: Dict[Edge, Tuple[float, float]] = {}
+
+        def _hit(edge: Edge, e: LinkDegradation) -> None:
+            f, x = out.get(edge, (1.0, 0.0))
+            out[edge] = (f * e.bw_factor, x + e.extra_delay_ms)
+
+        for e in self.events:
+            if not (isinstance(e, LinkDegradation) and e.active(now)):
+                continue
+            if e.link is not None:
+                if e.link in edge_set:
+                    _hit(e.link, e)
+            else:
+                for edge in edge_set:
+                    if e.device in edge:
+                        _hit(edge, e)
+        return out
 
     def reachable(self, src: int, dst: int, now: float) -> bool:
         """Can a message physically travel ``src -> dst`` at ``now``?"""
@@ -229,7 +430,13 @@ class FaultSchedule:
         for e in self.events:
             if not (isinstance(e, LinkDegradation) and e.active(now)):
                 continue
-            i = e.device - 1
+            if e.link is not None:
+                # mesh-addressed: a star only has gateway-incident links
+                if 0 not in e.link:
+                    continue
+                i = max(e.link) - 1
+            else:
+                i = e.device - 1
             if i >= len(bws):
                 continue  # schedule written for a larger cluster
             bws[i] *= e.bw_factor

@@ -12,7 +12,8 @@ from .grids import (
     validation_conditions,
 )
 from .link import LOOPBACK, Link
-from .mesh import MeshCluster, MeshLink, line_topology, ring_topology
+from .mesh import (MeshCluster, MeshLink, RouteInfo, line_topology,
+                   partial_mesh_topology, ring_topology)
 from .monitor import Measurement, NetworkMonitor
 from .topology import Cluster, NetworkCondition
 from .traces import TraceConfig, mobility_trace, random_walk_trace, step_trace
@@ -22,7 +23,9 @@ __all__ = [
     "LOOPBACK",
     "MeshCluster",
     "MeshLink",
+    "RouteInfo",
     "line_topology",
+    "partial_mesh_topology",
     "ring_topology",
     "Cluster",
     "NetworkCondition",

@@ -11,19 +11,59 @@ A :class:`MeshCluster` is a drop-in replacement wherever a ``Cluster``
 is consumed (the latency simulator, the executor's transport) because it
 exposes the same ``devices`` / ``device()`` / ``transfer_time()``
 surface.
+
+Fault-aware routing
+-------------------
+The mesh carries a *fault overlay* on top of its base link set: links
+can be **down** (removed from routing) or **degraded** (bandwidth
+scaled, delay added).  Routing always runs on the overlaid graph, so
+when a link dies transfers automatically fail over to the next-best
+surviving path — paying that path's honest delay and bottleneck
+bandwidth — and :meth:`MeshCluster.transfer_time` raises a typed
+:class:`~repro.faults.resilience.NoRouteError` when no path survives.
+The routing model is link-state: the local runtime's routing table
+converges instantly when the overlay changes (a documented
+simplification — real protocols converge in seconds, not never).
+
+Only the :class:`~repro.faults.injector.FaultInjector` mutates the
+overlay (via :meth:`MeshCluster.apply_link_faults`); the decision layer
+still observes the mesh exclusively through the monitor's noisy
+end-to-end view (:attr:`MeshCluster.condition`) and its own delivery
+outcomes.
+
+Every mutation of the link set — fault overlay *or* base parameters
+(:meth:`MeshCluster.set_link_quality`) — bumps ``route_epoch`` and
+drops the path cache, so cached routes can never go stale.
+
+``reroute=False`` pins routing to the fault-free base paths (static
+routing tables): a transfer whose base path crosses a down link fails
+even when an alternative exists.  This is the ablation the mesh chaos
+benchmark compares against.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, \
+    Sequence, Tuple
 
 import networkx as nx
 
 from ..devices.profiles import DeviceProfile
+from ..faults.resilience import NoRouteError
 from .link import Link
+from .topology import NetworkCondition
 
-__all__ = ["MeshLink", "MeshCluster", "line_topology", "ring_topology"]
+__all__ = ["MeshLink", "RouteInfo", "MeshCluster", "line_topology",
+           "ring_topology", "partial_mesh_topology"]
+
+
+Edge = Tuple[int, int]
+
+
+def _edge(a: int, b: int) -> Edge:
+    """Canonical (sorted) form of an undirected link."""
+    return (a, b) if a <= b else (b, a)
 
 
 @dataclass(frozen=True)
@@ -41,32 +81,137 @@ class MeshLink:
         if self.bandwidth_mbps <= 0 or self.delay_ms < 0:
             raise ValueError("invalid link parameters")
 
+    @property
+    def edge(self) -> Edge:
+        return _edge(self.a, self.b)
+
+
+@dataclass(frozen=True)
+class RouteInfo:
+    """One resolved route under the current fault overlay."""
+
+    #: total path propagation delay, milliseconds
+    delay_ms: float
+    #: bottleneck bandwidth along the path, Mbps
+    bandwidth_mbps: float
+    #: device sequence, endpoints included
+    path: Tuple[int, ...]
+    #: True when the path differs from the fault-free base path
+    rerouted: bool
+
+    @property
+    def hops(self) -> int:
+        return len(self.path) - 1
+
 
 class MeshCluster:
     """Devices connected by an arbitrary set of links.
 
-    Routing: min-delay path (Dijkstra on delay); a transfer pays the sum
-    of hop delays, one RPC overhead, and wire time at the bottleneck
-    bandwidth along the path (store-and-forward pipelining collapses the
-    per-hop serialization to the slowest hop for large payloads).
+    Routing: min-delay path (Dijkstra on delay over the fault overlay);
+    a transfer pays the sum of hop delays, one RPC overhead, and wire
+    time at the bottleneck bandwidth along the path (store-and-forward
+    pipelining collapses the per-hop serialization to the slowest hop
+    for large payloads).
     """
 
     def __init__(self, devices: Sequence[DeviceProfile],
-                 links: Sequence[MeshLink], rpc_overhead_ms: float = 1.0):
+                 links: Sequence[MeshLink], rpc_overhead_ms: float = 1.0,
+                 reroute: bool = True):
         if not devices:
             raise ValueError("need at least one device")
         self.devices: List[DeviceProfile] = list(devices)
         self.rpc_overhead_ms = rpc_overhead_ms
-        self._graph = nx.Graph()
-        self._graph.add_nodes_from(range(len(self.devices)))
+        #: False pins routing to the fault-free base paths (ablation)
+        self.reroute = reroute
+        # Per-device compute-time multipliers (straggler injection);
+        # same contract as Cluster.compute_scale.
+        self.compute_scale: Dict[int, float] = {}
+        self._base: Dict[Edge, MeshLink] = {}
+        n = len(self.devices)
         for link in links:
-            n = len(self.devices)
             if not (0 <= link.a < n and 0 <= link.b < n):
                 raise ValueError(f"link {link} references unknown device")
-            self._graph.add_edge(link.a, link.b,
-                                 delay=link.delay_ms,
-                                 bandwidth=link.bandwidth_mbps)
-        self._path_cache: Dict[Tuple[int, int], Tuple[float, float]] = {}
+            self._base[link.edge] = link
+        # fault overlay: links removed from / degraded in the routing graph
+        self._down: FrozenSet[Edge] = frozenset()
+        self._degraded: Dict[Edge, Tuple[float, float]] = {}
+        #: bumped on every link-set mutation; cached routes from an older
+        #: epoch are unreachable because the cache is dropped at the bump
+        self.route_epoch = 0
+        self._graph = nx.Graph()
+        self._base_graph = nx.Graph()
+        self._rebuild_graphs()
+        self._path_cache: Dict[Tuple[int, int], RouteInfo] = {}
+        self._base_paths: Dict[Tuple[int, int], Tuple[int, ...]] = {}
+        self._cond_cache: Optional[NetworkCondition] = None
+
+    # -- link-set mutation -------------------------------------------------
+    def _rebuild_graphs(self) -> None:
+        for g, overlay in ((self._base_graph, False), (self._graph, True)):
+            g.clear()
+            g.add_nodes_from(range(len(self.devices)))
+            for edge, link in self._base.items():
+                bw, delay = link.bandwidth_mbps, link.delay_ms
+                if overlay:
+                    if edge in self._down:
+                        continue
+                    factor, extra = self._degraded.get(edge, (1.0, 0.0))
+                    bw, delay = bw * factor, delay + extra
+                g.add_edge(*edge, delay=delay, bandwidth=bw)
+
+    def invalidate_routes(self) -> None:
+        """Drop every cached route and advance the routing epoch.
+
+        Called automatically by every link-set mutation; exposed for
+        callers that mutate the graph through other means.
+        """
+        self.route_epoch += 1
+        self._path_cache.clear()
+        self._cond_cache = None
+
+    def set_link_quality(self, a: int, b: int,
+                         bandwidth_mbps: Optional[float] = None,
+                         delay_ms: Optional[float] = None) -> None:
+        """Change one base link's parameters (mobility, interference).
+
+        Routes are invalidated: a cached path picked under the old
+        parameters may no longer be the minimum-delay one.
+        """
+        edge = _edge(a, b)
+        link = self._base.get(edge)
+        if link is None:
+            raise ValueError(f"no link between {a} and {b}")
+        self._base[edge] = MeshLink(
+            link.a, link.b,
+            link.bandwidth_mbps if bandwidth_mbps is None else bandwidth_mbps,
+            link.delay_ms if delay_ms is None else delay_ms)
+        self._base_paths.clear()
+        self._rebuild_graphs()
+        self.invalidate_routes()
+
+    def apply_link_faults(
+            self, down: Iterable[Edge] = (),
+            degraded: Optional[Mapping[Edge, Tuple[float, float]]] = None,
+            ) -> bool:
+        """Install the fault overlay: ``down`` links leave the routing
+        graph, ``degraded`` maps edges to ``(bw_factor, extra_delay_ms)``.
+
+        Edges the mesh does not have are ignored (a schedule written for
+        a larger topology, mirroring the star's out-of-range tolerance).
+        Returns True when the overlay actually changed (and therefore
+        the path cache was invalidated).
+        """
+        down_set = frozenset(_edge(*e) for e in down) & set(self._base)
+        deg = {_edge(*e): (float(f), float(x))
+               for e, (f, x) in (degraded or {}).items()
+               if _edge(*e) in self._base}
+        if down_set == self._down and deg == self._degraded:
+            return False
+        self._down = down_set
+        self._degraded = deg
+        self._rebuild_graphs()
+        self.invalidate_routes()
+        return True
 
     # -- Cluster-compatible surface ----------------------------------------
     @property
@@ -80,61 +225,194 @@ class MeshCluster:
     def device(self, i: int) -> DeviceProfile:
         return self.devices[i]
 
+    @property
+    def links(self) -> Tuple[MeshLink, ...]:
+        """The base (fault-free) link set."""
+        return tuple(self._base.values())
+
+    @property
+    def base_edges(self) -> FrozenSet[Edge]:
+        return frozenset(self._base)
+
+    @property
+    def down_links(self) -> FrozenSet[Edge]:
+        """Links currently removed from routing by the fault overlay."""
+        return self._down
+
+    @property
+    def degraded_links(self) -> Dict[Edge, Tuple[float, float]]:
+        return dict(self._degraded)
+
     def link_to(self, i: int) -> Link:
         """Equivalent single link local<->i (for delay introspection)."""
-        delay, bw = self._route(0, i)
-        return Link(bandwidth_mbps=bw, delay_ms=delay,
+        info = self._route_or_base(0, i)
+        return Link(bandwidth_mbps=info.bandwidth_mbps,
+                    delay_ms=info.delay_ms,
                     rpc_overhead_ms=self.rpc_overhead_ms)
 
     def is_connected(self) -> bool:
+        """Connectivity of the *current* (fault-overlaid) graph."""
         return nx.is_connected(self._graph)
 
-    def _route(self, src: int, dst: int) -> Tuple[float, float]:
-        """(total path delay ms, bottleneck bandwidth Mbps)."""
+    @property
+    def condition(self) -> NetworkCondition:
+        """Star-equivalent end-to-end view: the routed (bottleneck bw,
+        total delay) from the gateway to every remote device.
+
+        This is what the network monitor samples — the decision layer
+        sees path *quality* (a rerouted path shows up as a slower link),
+        never the link graph itself.  Remotes with no surviving route
+        keep their fault-free base-path view: the monitor's probes to
+        them would simply time out, which the transport prices
+        separately.
+        """
+        if self._cond_cache is None:
+            bws, delays = [], []
+            for i in range(1, len(self.devices)):
+                info = self._route_or_base(0, i)
+                bws.append(info.bandwidth_mbps)
+                delays.append(info.delay_ms)
+            self._cond_cache = NetworkCondition(tuple(bws), tuple(delays))
+        return self._cond_cache
+
+    def set_condition(self, condition: NetworkCondition) -> None:
+        raise NotImplementedError(
+            "a mesh has per-link state, not a per-remote condition vector; "
+            "use set_link_quality() / apply_link_faults() instead")
+
+    # -- routing -----------------------------------------------------------
+    def _base_path(self, src: int, dst: int) -> Tuple[int, ...]:
         key = (src, dst)
-        cached = self._path_cache.get(key)
+        cached = self._base_paths.get(key)
         if cached is not None:
             return cached
         try:
-            path = nx.shortest_path(self._graph, src, dst, weight="delay")
+            path = tuple(nx.shortest_path(self._base_graph, src, dst,
+                                          weight="delay"))
         except nx.NetworkXNoPath as exc:
-            raise ValueError(f"no route between {src} and {dst}") from exc
+            raise NoRouteError(src, dst) from exc
+        self._base_paths[key] = path
+        self._base_paths[(dst, src)] = tuple(reversed(path))
+        return path
+
+    def _price_path(self, path: Tuple[int, ...],
+                    rerouted: bool) -> RouteInfo:
         delay = 0.0
         bw = float("inf")
         for a, b in zip(path, path[1:]):
             edge = self._graph.edges[a, b]
             delay += edge["delay"]
             bw = min(bw, edge["bandwidth"])
-        self._path_cache[key] = (delay, bw)
-        self._path_cache[(dst, src)] = (delay, bw)
-        return delay, bw
+        return RouteInfo(delay, bw, path, rerouted)
+
+    def route_info(self, src: int, dst: int) -> RouteInfo:
+        """Resolve the current route ``src -> dst``.
+
+        With rerouting enabled this is the min-delay path on the
+        fault-overlaid graph (``rerouted=True`` when it differs from the
+        fault-free base path); with ``reroute=False`` it is always the
+        base path, priced under the overlay's degradations, and raises
+        :class:`NoRouteError` if any base-path link is down.
+        """
+        if src == dst:
+            return RouteInfo(0.0, float("inf"), (src,), False)
+        key = (src, dst)
+        cached = self._path_cache.get(key)
+        if cached is not None:
+            return cached
+        if not self.reroute:
+            path = self._base_path(src, dst)
+            if any(_edge(a, b) in self._down
+                   for a, b in zip(path, path[1:])):
+                raise NoRouteError(src, dst)
+            info = self._price_path(path, False)
+        else:
+            try:
+                path = tuple(nx.shortest_path(self._graph, src, dst,
+                                              weight="delay"))
+            except nx.NetworkXNoPath as exc:
+                raise NoRouteError(src, dst) from exc
+            rerouted = bool(self._down) and path != self._base_path(src, dst)
+            info = self._price_path(path, rerouted)
+        self._path_cache[key] = info
+        self._path_cache[(dst, src)] = RouteInfo(
+            info.delay_ms, info.bandwidth_mbps,
+            tuple(reversed(info.path)), info.rerouted)
+        return info
+
+    def _route_or_base(self, src: int, dst: int) -> RouteInfo:
+        """Current route, falling back to the fault-free base path when
+        no route survives (monitor-view helper)."""
+        try:
+            return self.route_info(src, dst)
+        except NoRouteError:
+            try:
+                path = self._base_path(src, dst)
+            except NoRouteError:
+                # never connected, even fault-free: an effectively dead
+                # pair (sentinel values; nothing routes work through it)
+                return RouteInfo(1e6, 1e-6, (src, dst), False)
+            delay = 0.0
+            bw = float("inf")
+            for a, b in zip(path, path[1:]):
+                edge = self._base_graph.edges[a, b]
+                delay += edge["delay"]
+                bw = min(bw, edge["bandwidth"])
+            return RouteInfo(delay, bw, path, False)
+
+    def has_route(self, src: int, dst: int) -> bool:
+        """Does a path survive the current fault overlay?"""
+        try:
+            self.route_info(src, dst)
+            return True
+        except NoRouteError:
+            return False
 
     def transfer_time(self, src: int, dst: int, nbytes: float) -> float:
         if src == dst:
             return 0.0
-        delay, bw = self._route(src, dst)
-        return ((delay + self.rpc_overhead_ms) / 1e3
-                + nbytes * 8.0 / (bw * 1e6))
+        info = self.route_info(src, dst)
+        return ((info.delay_ms + self.rpc_overhead_ms) / 1e3
+                + nbytes * 8.0 / (info.bandwidth_mbps * 1e6))
 
     def hop_count(self, src: int, dst: int) -> int:
+        """Hops on the *current* route (a reroute may lengthen it)."""
         if src == dst:
             return 0
-        return len(nx.shortest_path(self._graph, src, dst,
-                                    weight="delay")) - 1
+        return self.route_info(src, dst).hops
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"MeshCluster({len(self.devices)} devices, "
+                f"{len(self._base)} links, {len(self._down)} down, "
+                f"epoch={self.route_epoch})")
 
 
 def line_topology(devices: Sequence[DeviceProfile], bandwidth_mbps: float,
-                  delay_ms: float) -> MeshCluster:
+                  delay_ms: float, reroute: bool = True) -> MeshCluster:
     """A relay chain: 0 - 1 - 2 - ... (drone daisy-chains)."""
     links = [MeshLink(i, i + 1, bandwidth_mbps, delay_ms)
              for i in range(len(devices) - 1)]
-    return MeshCluster(devices, links)
+    return MeshCluster(devices, links, reroute=reroute)
 
 
 def ring_topology(devices: Sequence[DeviceProfile], bandwidth_mbps: float,
-                  delay_ms: float) -> MeshCluster:
+                  delay_ms: float, reroute: bool = True) -> MeshCluster:
     """A ring: the chain plus a closing edge (two disjoint routes)."""
     n = len(devices)
     links = [MeshLink(i, (i + 1) % n, bandwidth_mbps, delay_ms)
              for i in range(n)]
-    return MeshCluster(devices, links)
+    return MeshCluster(devices, links, reroute=reroute)
+
+
+def partial_mesh_topology(devices: Sequence[DeviceProfile],
+                          bandwidth_mbps: float, delay_ms: float,
+                          chords: Sequence[Edge] = (),
+                          reroute: bool = True) -> MeshCluster:
+    """A ring plus chord links (partial mesh): more disjoint routes than
+    a ring, fewer than a clique — the realistic edge-swarm shape."""
+    n = len(devices)
+    links = [MeshLink(i, (i + 1) % n, bandwidth_mbps, delay_ms)
+             for i in range(n)]
+    for a, b in chords:
+        links.append(MeshLink(a, b, bandwidth_mbps, delay_ms))
+    return MeshCluster(devices, links, reroute=reroute)

@@ -22,6 +22,15 @@ when no remote survives it gracefully degrades to the smallest feasible
 submodel entirely on the gateway: accuracy drops, the request still
 completes.  With failover disabled the request fails with
 :class:`~repro.faults.resilience.ExecutionFailedError`.
+
+On a mesh the failure taxonomy splits in two.  *Path dead with an
+alternative*: the routing layer transparently fails over inside
+``transfer_time`` — the plan keeps its placement, the transfer pays the
+backup path's honest latency, and no exception is raised.  *Path dead
+with no alternative* (:class:`~repro.faults.resilience.NoRouteError`):
+operationally the same as a dead device — the endpoint cannot be used —
+so the executor charges the retry give-up cost the sender would have
+burned discovering it and runs the same failover/degradation ladder.
 """
 
 from __future__ import annotations
@@ -32,7 +41,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..faults.resilience import (DeviceUnreachableError, ExecutionFailedError,
-                                 ResilienceConfig)
+                                 NoRouteError, ResilienceConfig)
 from ..models.graph import ModelGraph
 from ..nas.arch import ArchConfig, min_arch
 from ..nas.graph_builder import build_graph
@@ -160,9 +169,24 @@ class DistributedExecutor:
             try:
                 result = self._run_plan(x, cur_arch, cur_plan, cur_graph,
                                         sim_time + penalty, request_id)
-            except DeviceUnreachableError as e:
-                penalty += e.wasted_s
-                retries += self.transport.num_retries
+            except (DeviceUnreachableError, NoRouteError) as e:
+                if isinstance(e, NoRouteError):
+                    # Pricing walked a dead path before any send went
+                    # out.  The sender would have discovered this by
+                    # timing out, so charge the full give-up schedule
+                    # and teach the breakers, same as an exhausted
+                    # retry loop — the accounting matches what the
+                    # transport would have reported.
+                    penalty += res.retry.give_up_cost()
+                    retries += res.retry.max_retries
+                    if self.health is not None:
+                        self.health.record_failure(
+                            e.device, sim_time + penalty)
+                        self.health.record_link_failure(
+                            e.src, e.dst, sim_time + penalty)
+                else:
+                    penalty += e.wasted_s
+                    retries += self.transport.num_retries
                 if not res.failover:
                     raise ExecutionFailedError(e.device, penalty,
                                                retries) from e

@@ -14,6 +14,15 @@ successful retry re-pays the full transfer time — retries show up in
 delivered-at timestamps, latency, and telemetry.  When every attempt
 times out, :class:`~repro.faults.resilience.DeviceUnreachableError`
 carries the wasted time for the caller to charge to the request.
+
+On a mesh cluster the wire is a *path*: when the current route differs
+from the fault-free one the transport has transparently failed over to
+the next-best path — the transfer already paid that path's honest
+latency via ``transfer_time`` — and the reroute is counted
+(``transport_reroute_total``, per-link ``link_reroutes_total``) so the
+dashboards show which pairs are living on their backup routes.  Health
+observations are recorded per endpoint *and* per endpoint pair, feeding
+the device- and link-level circuit breakers separately.
 """
 
 from __future__ import annotations
@@ -76,6 +85,7 @@ class Transport:
         self._total_bytes = 0
         self._num_messages = 0
         self._num_retries = 0
+        self._num_reroutes = 0
         self._wasted_s = 0.0
         if telemetry is not None:
             self._reg = telemetry.registry.child("transport")
@@ -89,6 +99,9 @@ class Transport:
                 "retries_total", help="message re-transmissions")
             self._m_unreachable = self._reg.counter(
                 "unreachable_total", help="sends that exhausted every retry")
+            self._m_reroutes = self._reg.counter(
+                "reroute_total",
+                help="deliveries that travelled a non-base path")
 
     def _account(self, msg: Message, bits: Optional[int] = None) -> None:
         """Record one cross-device delivery in the telemetry registry."""
@@ -128,16 +141,38 @@ class Transport:
                     for d in (src, dst):
                         if d != 0:
                             self.health.record_success(d, now)
+                    self.health.record_link_success(src, dst, now)
                 return wasted, attempt
             wasted += policy.timeout_of(attempt)
         device = dst if dst != 0 else src
         self._num_retries += policy.max_retries
         if self.health is not None:
             self.health.record_failure(device, now)
+            self.health.record_link_failure(src, dst, now)
         if self.telemetry is not None:
             self._m_retries.inc(policy.max_retries)
             self._m_unreachable.inc()
         raise DeviceUnreachableError(device, wasted, policy.max_retries)
+
+    def _note_route(self, src: int, dst: int) -> None:
+        """Count deliveries riding a backup path (mesh clusters only).
+
+        Called after a successful transfer; on a mesh whose current
+        route for this pair differs from the fault-free base path, the
+        delivery was transparently rerouted — the extra latency was
+        already paid in ``transfer_time``, this just makes it visible.
+        """
+        route_info = getattr(self.cluster, "route_info", None)
+        if route_info is None:
+            return
+        if not route_info(src, dst).rerouted:
+            return
+        self._num_reroutes += 1
+        if self.telemetry is not None:
+            self._m_reroutes.inc()
+            self._reg.counter("link_reroutes_total",
+                              help="rerouted deliveries per device pair",
+                              link=f"{src}-{dst}").inc()
 
     def send_tensor(self, x: np.ndarray, src: int, dst: int, bits: int,
                     now: float) -> Message:
@@ -169,6 +204,7 @@ class Transport:
             self._num_retries += retries
             if retries:
                 self._wasted_s += wasted
+            self._note_route(src, dst)
             if self.telemetry is not None:
                 self._account(msg, bits=bits)
         return msg
@@ -194,6 +230,7 @@ class Transport:
             self._num_retries += retries
             if retries:
                 self._wasted_s += wasted
+            self._note_route(src, dst)
             if self.telemetry is not None:
                 self._account(msg)
         return msg
@@ -209,6 +246,11 @@ class Transport:
     @property
     def num_retries(self) -> int:
         return self._num_retries
+
+    @property
+    def num_reroutes(self) -> int:
+        """Deliveries in the current log window that rode a backup path."""
+        return self._num_reroutes
 
     @property
     def wasted_s(self) -> float:
@@ -228,4 +270,5 @@ class Transport:
         self._total_bytes = 0
         self._num_messages = 0
         self._num_retries = 0
+        self._num_reroutes = 0
         self._wasted_s = 0.0

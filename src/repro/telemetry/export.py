@@ -12,7 +12,9 @@ Three consumers, three formats:
 * ``console_report`` — a human-readable digest for terminals.
 * ``link_stats`` / ``format_link_report`` — a per-link congestion view
   over the transport's ``link_bytes_total`` / ``link_transfer_s``
-  metrics (the ``murmuration-repro links`` CLI dashboard).
+  metrics, plus the mesh fault columns (``link_reroutes_total``,
+  ``link_down_seconds``) — the ``murmuration-repro links`` CLI
+  dashboard.
 """
 
 from __future__ import annotations
@@ -142,13 +144,25 @@ def link_stats(registry: MetricsRegistry) -> List[dict]:
     ``mean_ms`` / ``p95_ms``
         per-delivery transfer time, mean and 95th percentile;
     ``mbps``
-        effective throughput (payload bits / busy seconds).
+        effective throughput (payload bits / busy seconds);
+    ``reroutes``
+        deliveries that travelled a backup path instead of the
+        fault-free base route (``link_reroutes_total``, labelled by the
+        logical src-dst pair — failover activity per endpoint pair);
+    ``down_s``
+        simulated seconds the *physical* edge spent down under fault
+        injection (``link_down_seconds``, metered by the injector).
 
     Rows come back busiest-first.  Links that never carried traffic do
-    not appear (the transport only mints the metrics on first use).
+    not appear (the transport only mints the metrics on first use) —
+    unless fault metering or rerouting touched them, in which case
+    they appear with zero traffic so outages on idle edges stay
+    visible.
     """
     bytes_by: dict = {}
     hist_by: dict = {}
+    reroutes_by: dict = {}
+    down_by: dict = {}
     for m in registry.collect():
         link = m.label_dict.get("link")
         if link is None:
@@ -157,8 +171,13 @@ def link_stats(registry: MetricsRegistry) -> List[dict]:
             bytes_by[link] = bytes_by.get(link, 0) + int(m.value)
         elif m.name.endswith("link_transfer_s") and isinstance(m, Histogram):
             hist_by[link] = m
+        elif m.name.endswith("link_reroutes_total"):
+            reroutes_by[link] = reroutes_by.get(link, 0) + int(m.value)
+        elif m.name.endswith("link_down_seconds"):
+            down_by[link] = down_by.get(link, 0.0) + float(m.value)
     rows: List[dict] = []
-    for link in sorted(set(bytes_by) | set(hist_by)):
+    for link in sorted(set(bytes_by) | set(hist_by)
+                       | set(reroutes_by) | set(down_by)):
         h = hist_by.get(link)
         nbytes = bytes_by.get(link, 0)
         busy = h.sum if h is not None else 0.0
@@ -171,6 +190,8 @@ def link_stats(registry: MetricsRegistry) -> List[dict]:
             "p95_ms": (h.quantile(0.95) * 1e3
                        if h is not None and h.count else 0.0),
             "mbps": nbytes * 8 / 1e6 / busy if busy > 0 else 0.0,
+            "reroutes": reroutes_by.get(link, 0),
+            "down_s": down_by.get(link, 0.0),
         })
     rows.sort(key=lambda r: (-r["busy_s"], r["link"]))
     return rows
@@ -181,18 +202,24 @@ def format_link_report(rows: Sequence[dict]) -> str:
     if not rows:
         return "no cross-device traffic recorded"
     lines = [f"{'link':>8s}{'msgs':>7s}{'bytes':>12s}{'busy s':>9s}"
-             f"{'mean ms':>9s}{'p95 ms':>9s}{'Mbps':>8s}"]
+             f"{'mean ms':>9s}{'p95 ms':>9s}{'Mbps':>8s}"
+             f"{'rerte':>7s}{'down s':>9s}"]
     for r in rows:
         lines.append(
             f"{r['link']:>8s}{r['messages']:>7d}{r['bytes']:>12,d}"
             f"{r['busy_s']:>9.3f}{r['mean_ms']:>9.1f}{r['p95_ms']:>9.1f}"
-            f"{r['mbps']:>8.1f}")
+            f"{r['mbps']:>8.1f}{r.get('reroutes', 0):>7d}"
+            f"{r.get('down_s', 0.0):>9.2f}")
     total_b = sum(r["bytes"] for r in rows)
     total_m = sum(r["messages"] for r in rows)
+    total_r = sum(r.get("reroutes", 0) for r in rows)
     busiest = rows[0]
-    lines.append(f"{len(rows)} links, {total_m} messages, "
-                 f"{total_b:,d} bytes; busiest {busiest['link']} "
-                 f"({busiest['busy_s']:.3f}s busy)")
+    summary = (f"{len(rows)} links, {total_m} messages, "
+               f"{total_b:,d} bytes; busiest {busiest['link']} "
+               f"({busiest['busy_s']:.3f}s busy)")
+    if total_r:
+        summary += f"; {total_r} rerouted deliveries"
+    lines.append(summary)
     return "\n".join(lines)
 
 

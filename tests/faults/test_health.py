@@ -77,6 +77,56 @@ class TestDrainOpened:
         assert h.snapshot(0.1) == {0: "closed", 1: "open"}
 
 
+class TestLinkBreakers:
+    def test_unknown_pair_is_closed_and_allowed(self):
+        h = DeviceHealth(4)
+        assert h.link_state(1, 3, 0.0) is CircuitState.CLOSED
+        assert h.allow_link(1, 3, 0.0)
+        assert h.allow_link(2, 2, 0.0)  # self-pair is trivially fine
+
+    def test_opens_after_threshold_and_half_opens(self):
+        h = DeviceHealth(4, failure_threshold=3, cooldown_s=2.0)
+        assert not h.record_link_failure(0, 2, 0.0)
+        assert not h.record_link_failure(2, 0, 0.1)  # unordered pair
+        assert h.record_link_failure(0, 2, 0.2)
+        assert not h.allow_link(0, 2, 0.3)
+        # device breakers are independent of link breakers
+        assert h.allow(0, 0.3) and h.allow(2, 0.3)
+        assert h.link_state(0, 2, 2.3) is CircuitState.HALF_OPEN
+        assert h.allow_link(0, 2, 2.3)
+
+    def test_success_resets_and_half_open_failure_reopens(self):
+        h = DeviceHealth(4, failure_threshold=2, cooldown_s=1.0)
+        h.record_link_failure(1, 2, 0.0)
+        h.record_link_success(1, 2, 0.1)  # streak broken
+        assert not h.record_link_failure(1, 2, 0.2)
+        assert h.record_link_failure(1, 2, 0.3)  # now opens
+        h.link_state(1, 2, 1.4)  # half-open probe window
+        assert h.record_link_failure(1, 2, 1.4)  # one strike reopens
+        assert h.link_state(1, 2, 1.5) is CircuitState.OPEN
+
+    def test_drain_opened_links(self):
+        h = DeviceHealth(4, failure_threshold=1)
+        h.record_link_failure(0, 1, 0.0)
+        h.record_link_failure(2, 3, 0.1)
+        assert h.drain_opened_links() == [(0, 1), (2, 3)]
+        assert h.drain_opened_links() == []
+        assert h.drain_opened() == []  # device drain untouched
+
+    def test_link_transition_counters(self):
+        tel = Telemetry()
+        h = DeviceHealth(4, failure_threshold=1, cooldown_s=1.0,
+                         telemetry=tel)
+        h.record_link_failure(0, 2, 0.0)
+        assert tel.registry.get("health_link_circuit_transitions_total",
+                                link="0-2", to="open").value == 1
+        h.record_link_success(0, 2, 1.5)  # half-open resolved, then closed
+        assert tel.registry.get("health_link_circuit_transitions_total",
+                                link="0-2", to="half_open").value == 1
+        assert tel.registry.get("health_link_circuit_transitions_total",
+                                link="0-2", to="closed").value == 1
+
+
 class TestHealthTelemetry:
     def test_counters_and_state_gauge(self):
         tel = Telemetry()

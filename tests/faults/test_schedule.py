@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.faults import (DeviceCrash, FaultSchedule, LinkDegradation,
+from repro.faults import (CorrelatedFailure, DeviceCrash, FaultSchedule,
+                          LinkDegradation, LinkFailure, LinkFlap,
                           MessageLoss, Partition, Straggler,
                           chaos_schedule, crash_and_recover_schedule)
 from repro.netsim import NetworkCondition
@@ -120,6 +121,85 @@ class TestScheduleQueries:
         sched = FaultSchedule([DeviceCrash(1.0, 4.0, device=1),
                                Straggler(0.0, 2.0, device=1)])
         assert sched.horizon == 4.0
+
+
+class TestLinkEvents:
+    def test_link_failure_validation_and_edge(self):
+        with pytest.raises(ValueError):
+            LinkFailure(0.0, 1.0, a=2, b=2)
+        assert LinkFailure(0.0, 1.0, a=3, b=1).edge == (1, 3)
+
+    def test_down_links_collects_failures(self):
+        sched = FaultSchedule([LinkFailure(1.0, 4.0, a=0, b=1),
+                               LinkFailure(2.0, 5.0, a=2, b=1)])
+        assert sched.down_links(0.5) == frozenset()
+        assert sched.down_links(1.5) == frozenset({(0, 1)})
+        assert sched.down_links(3.0) == frozenset({(0, 1), (1, 2)})
+        assert sched.down_links(4.5) == frozenset({(1, 2)})
+
+    def test_flap_is_deterministic_and_order_independent(self):
+        kw = dict(a=0, b=1, p_fail=0.4, p_recover=0.4, step_s=0.5, seed=9)
+        f1 = LinkFlap(0.0, 20.0, **kw)
+        f2 = LinkFlap(0.0, 20.0, **kw)
+        times = [0.1 + 0.5 * k for k in range(40)]
+        forward = [f1.down_at(t) for t in times]
+        backward = [f2.down_at(t) for t in reversed(times)]
+        assert forward == list(reversed(backward))
+        # the onset is the first outage; outside the window it is up
+        assert f1.down_at(0.0)
+        assert not f1.down_at(25.0)
+        # different seed, different burst pattern
+        f3 = LinkFlap(0.0, 20.0, a=0, b=1, p_fail=0.4, p_recover=0.4,
+                      step_s=0.5, seed=10)
+        assert [f3.down_at(t) for t in times] != forward
+
+    def test_flap_produces_bursts_not_iid(self):
+        """Small p_recover yields multi-step outage runs."""
+        flap = LinkFlap(0.0, 100.0, a=0, b=1, p_fail=0.5, p_recover=0.1,
+                        step_s=1.0, seed=0)
+        states = [flap.down_at(t + 0.5) for t in range(100)]
+        longest = run = 0
+        for s in states:
+            run = run + 1 if s else 0
+            longest = max(longest, run)
+        assert longest >= 3
+
+    def test_flap_validation(self):
+        with pytest.raises(ValueError):
+            LinkFlap(0.0, 1.0, p_fail=0.0)
+        with pytest.raises(ValueError):
+            LinkFlap(0.0, 1.0, step_s=0.0)
+
+    def test_correlated_failure_validation(self):
+        with pytest.raises(ValueError):
+            CorrelatedFailure(0.0, 1.0)  # empty blast radius
+        with pytest.raises(ValueError):
+            CorrelatedFailure(0.0, 1.0, devices=(0,))  # gateway
+        e = CorrelatedFailure(0.0, 1.0, devices=(2,), links=((3, 1),))
+        assert e.links == ((1, 3),)  # normalized
+
+    def test_correlated_failure_downs_devices_and_links_together(self):
+        sched = FaultSchedule([CorrelatedFailure(
+            2.0, 6.0, devices=(2, 3), links=((1, 2),), domain="rack")])
+        assert sched.down_devices(3.0) == {2, 3}
+        assert sched.down_links(3.0) == frozenset({(1, 2)})
+        edges = [(0, 1), (1, 2), (2, 3), (0, 3)]
+        # with the mesh edge list, the crashed devices sever everything
+        assert sched.down_links(3.0, edges) == frozenset(
+            {(1, 2), (2, 3), (0, 3)})
+        assert sched.down_devices(6.0) == frozenset()
+        assert sched.down_links(6.0, edges) == frozenset()
+
+    def test_link_addressed_degradation(self):
+        sched = FaultSchedule([
+            LinkDegradation(0.0, 5.0, link=(2, 1), bw_factor=0.5,
+                            extra_delay_ms=4.0),
+            LinkDegradation(0.0, 5.0, link=(1, 2), bw_factor=0.5)])
+        deg = sched.link_degradations(1.0, [(0, 1), (1, 2)])
+        # both events hit the same normalized edge and compound
+        assert deg == {(1, 2): (0.25, 4.0)}
+        with pytest.raises(ValueError):
+            LinkDegradation(0.0, 1.0, link=(1, 1))
 
 
 class TestGenerators:

@@ -5,6 +5,7 @@ import numpy as np
 import pytest
 
 from repro.devices import rpi4
+from repro.faults.resilience import NoRouteError, TransportError
 from repro.models import get_model
 from repro.netsim import (Cluster, MeshCluster, MeshLink, NetworkCondition,
                           line_topology, ring_topology)
@@ -51,8 +52,10 @@ class TestMeshCluster:
         devices = [rpi4() for _ in range(3)]
         mesh = MeshCluster(devices, [MeshLink(0, 1, 100.0, 5.0)])
         assert not mesh.is_connected()
-        with pytest.raises(ValueError, match="no route"):
+        with pytest.raises(NoRouteError, match="no surviving route") as exc:
             mesh.transfer_time(0, 2, 100)
+        assert isinstance(exc.value, TransportError)
+        assert (exc.value.src, exc.value.dst) == (0, 2)
 
     def test_unknown_device_in_link(self):
         with pytest.raises(ValueError):
