@@ -123,6 +123,23 @@ def _serve(args) -> str:
                                     run_serving_load)
     from .runtime import BatchingInferenceServer, BatchPolicy, InferenceServer
 
+    if getattr(args, "tenants", None):
+        from .eval.multi_tenant import (MultiTenantConfig, default_tenants,
+                                        format_multi_tenant,
+                                        run_multi_tenant)
+
+        tcfg = MultiTenantConfig(tenants=default_tenants(args.tenants),
+                                 seed=args.seed, slo_ms=args.slo_ms)
+        if args.requests is not None:
+            tcfg = replace(tcfg, num_requests=args.requests)
+        reports = run_multi_tenant(tcfg)
+        fifo, fair = reports["fifo"], reports["fair"]
+        return (format_multi_tenant(reports)
+                + f"\n\nworst-tenant e2e compliance: fifo "
+                f"{fifo.worst_tenant_compliance:.0%} -> fair "
+                f"{fair.worst_tenant_compliance:.0%} "
+                f"(shed {fair.shed})")
+
     # --compare keeps the scenario's default batch size unless overridden;
     # the single-server path defaults to plain FIFO.
     batch = args.batch if args.batch is not None else (
@@ -346,7 +363,8 @@ _COMMANDS = {
               "fault injection: crash-and-recover serving; --mesh for "
               "link-level faults on multi-hop topologies"),
     "serve": (_serve,
-              "serving loop under load; --batch N for the batched pipeline"),
+              "serving loop under load; --batch N for the batched "
+              "pipeline; --tenants N for multi-tenant fairness"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
     "links": (_links,
@@ -404,6 +422,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="seed for arrivals/noise/trace draws")
             p.add_argument("--compare", action="store_true",
                            help="run fifo vs batched vs batched-serial")
+            p.add_argument("--tenants", type=int, default=None,
+                           help="multi-tenant mode: N tenants share one "
+                                "ingress (first one bursts); compares "
+                                "fifo/admission/fair variants")
         elif name == "telemetry":
             p.add_argument("--requests", type=int, default=60,
                            help="requests to serve")
@@ -460,6 +482,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"--requests must be positive, got {args.requests}")
     if getattr(args, "batch", None) is not None and args.batch < 1:
         parser.error(f"--batch must be positive, got {args.batch}")
+    if getattr(args, "tenants", None) is not None and args.tenants < 1:
+        parser.error(f"--tenants must be positive, got {args.tenants}")
     if args.command in (None, "list"):
         print("available figures:")
         for name, (_, help_text) in _COMMANDS.items():

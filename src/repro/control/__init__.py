@@ -9,7 +9,7 @@ serving byte-identical to a control-free build.
 
 from .controllers import (AdmissionController, BatchPolicyController,
                           CacheGranularityController, Controller,
-                          PrecomputeScheduler)
+                          PrecomputeScheduler, TenantFairnessController)
 from .loop import ControlAction, ControlLoop, ControlSnapshot
 
 __all__ = [
@@ -21,4 +21,5 @@ __all__ = [
     "ControlLoop",
     "ControlSnapshot",
     "PrecomputeScheduler",
+    "TenantFairnessController",
 ]

@@ -22,13 +22,13 @@ land in the :class:`~repro.control.loop.ControlLoop` action log and the
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..netsim.topology import NetworkCondition
 
 __all__ = ["Controller", "CacheGranularityController",
            "BatchPolicyController", "AdmissionController",
-           "PrecomputeScheduler"]
+           "TenantFairnessController", "PrecomputeScheduler"]
 
 
 class Controller:
@@ -248,7 +248,9 @@ class AdmissionController(Controller):
         return None  # acts per request via admit(), not per tick
 
     def admit(self, arrival: float, start: float, slo_s: float,
-              loop) -> str:
+              loop, tenant: Optional[str] = None) -> str:
+        # tenant-blind by design: every request is triaged on its own
+        # deadline alone (TenantFairnessController adds the budgets)
         est = self.service_estimate_s
         if est <= 0.0:
             return "serve"  # no evidence yet
@@ -261,6 +263,138 @@ class AdmissionController(Controller):
             self.degraded += 1
             return "degrade"
         self.shed += 1
+        return "shed"
+
+
+class TenantFairnessController(Controller):
+    """Per-tenant SLO budgets at admission: weighted shed/degrade.
+
+    The plain :class:`AdmissionController` triages each request on its
+    own deadline, which is throughput-optimal but fairness-blind: when
+    one tenant bursts, its requests fill the queue first and the other
+    tenants' requests are the ones that arrive behind a hopeless
+    backlog and get shed — the bursting tenant starves the rest.
+
+    This controller keeps a decayed ledger of *admitted service
+    seconds* per tenant.  Each tenant owns a weighted fair fraction of
+    that ledger (``weights``; unnamed tenants weigh 1).  Under queue
+    pressure (predicted wait beyond ``pressure`` x SLO), a request from
+    a tenant consuming more than ``tolerance`` x its fair share is shed
+    *even if it individually fits* — throttling the burster to roughly
+    its share, so the well-behaved tenants' requests stop dying in the
+    queue behind it.  Off-pressure, or for tenants within their share,
+    triage is the standard serve/degrade/shed on the deadline.
+
+    The ledger decays by ``decay`` per control tick, so a tenant's past
+    burst stops counting against it within a few ticks of good
+    behaviour — budgets are rate-shaped, not grudges.  Untagged
+    requests (``tenant=None``) are triaged deadline-only; the
+    controller acts on evidence exactly like the plain admission rule
+    (everything is admitted until the first completed-request window).
+    """
+
+    name = "tenant-fairness"
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None,
+                 margin: float = 0.85, ewma_alpha: float = 0.3,
+                 pressure: float = 0.5, tolerance: float = 1.2,
+                 decay: float = 0.3):
+        if margin <= 0:
+            raise ValueError(f"margin must be positive, got {margin}")
+        if not (0.0 < ewma_alpha <= 1.0):
+            raise ValueError(
+                f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        if pressure < 0:
+            raise ValueError(
+                f"pressure must be non-negative, got {pressure}")
+        if tolerance < 1.0:
+            raise ValueError(
+                f"tolerance must be at least 1, got {tolerance}")
+        if not (0.0 < decay <= 1.0):
+            raise ValueError(f"decay must be in (0, 1], got {decay}")
+        if weights is not None:
+            for k, w in weights.items():
+                if w <= 0:
+                    raise ValueError(
+                        f"tenant {k!r} weight must be positive, got {w}")
+        self.weights = dict(weights) if weights else {}
+        self.margin = margin
+        self.ewma_alpha = ewma_alpha
+        self.pressure = pressure
+        self.tolerance = tolerance
+        self.decay = decay
+        self.service_estimate_s = 0.0
+        #: decayed admitted-service seconds per tenant (the ledger)
+        self.served_share: Dict[str, float] = {}
+        self.shed = 0
+        self.degraded = 0
+        self.shed_by_tenant: Dict[str, int] = {}
+        self.degraded_by_tenant: Dict[str, int] = {}
+        #: sheds issued specifically to enforce the fair share
+        self.fairness_sheds = 0
+
+    def update(self, snapshot, loop) -> Optional[str]:
+        if snapshot.window_mean_service_s > 0.0:
+            a = self.ewma_alpha
+            prev = self.service_estimate_s
+            self.service_estimate_s = (
+                snapshot.window_mean_service_s if prev == 0.0
+                else a * snapshot.window_mean_service_s + (1 - a) * prev)
+        for tenant in self.served_share:
+            self.served_share[tenant] *= (1.0 - self.decay)
+        return None  # acts per request via admit(), not per tick
+
+    def _fair_fraction(self, tenant: str) -> float:
+        """The ledger fraction ``tenant`` is entitled to."""
+        known = set(self.served_share) | set(self.weights) | {tenant}
+        total = sum(self.weights.get(k, 1.0) for k in known)
+        return self.weights.get(tenant, 1.0) / total
+
+    def over_share(self, tenant: str) -> bool:
+        """Is ``tenant`` past ``tolerance`` x its weighted fair share?"""
+        total = sum(self.served_share.values())
+        if total <= 0.0:
+            return False
+        used = self.served_share.get(tenant, 0.0) / total
+        return used > self.tolerance * self._fair_fraction(tenant)
+
+    def _charge(self, tenant: Optional[str], service_s: float) -> None:
+        if tenant is not None and service_s > 0.0:
+            self.served_share[tenant] = (
+                self.served_share.get(tenant, 0.0) + service_s)
+
+    def _count(self, book: Dict[str, int], tenant: Optional[str]) -> None:
+        if tenant is not None:
+            book[tenant] = book.get(tenant, 0) + 1
+
+    def admit(self, arrival: float, start: float, slo_s: float,
+              loop, tenant: Optional[str] = None) -> str:
+        est = self.service_estimate_s
+        if est <= 0.0:
+            return "serve"  # no evidence yet
+        wait = start - arrival
+        pressured = wait > self.pressure * slo_s
+        if tenant is not None and pressured and self.over_share(tenant):
+            # The queue is pressured and this tenant is eating more
+            # than its share: shedding *its* request is what frees the
+            # seat a within-share tenant's request would otherwise lose.
+            self.shed += 1
+            self.fairness_sheds += 1
+            self._count(self.shed_by_tenant, tenant)
+            return "shed"
+        budget = self.margin * slo_s - wait
+        if est <= budget:
+            self._charge(tenant, est)
+            return "serve"
+        est_min = (loop.system.min_strategy().expected_latency_s
+                   if loop.system is not None else est)
+        if est_min <= budget:
+            self.degraded += 1
+            self._count(self.degraded_by_tenant, tenant)
+            self._charge(tenant, est_min)
+            return "degrade"
+        self.shed += 1
+        self._count(self.shed_by_tenant, tenant)
         return "shed"
 
 

@@ -170,25 +170,38 @@ class ControlLoop:
         return True
 
     # -- admission ----------------------------------------------------------
-    def admit(self, arrival: float, start: float, slo) -> str:
+    def admit(self, arrival: float, start: float, slo,
+              tenant: Optional[str] = None) -> str:
         """Per-request admission verdict: "serve" | "degrade" | "shed".
 
         Delegates to the stacked admission controller (if any).  Only
         latency SLOs are actionable — predicted queue wait cannot blow
         an accuracy SLO — so anything else is served unconditionally.
+        ``tenant`` reaches tenant-aware controllers (per-tenant budget
+        accounting) and labels the verdict counters.
         """
         if (self._admission is None or slo is None
                 or slo.kind != "latency"):
             return "serve"
-        verdict = self._admission.admit(arrival, start, slo.value, self)
+        if tenant is None:
+            # untagged serving keeps the original duck-typed hook
+            # signature: admit(arrival, start, slo_s, loop)
+            verdict = self._admission.admit(arrival, start, slo.value, self)
+        else:
+            verdict = self._admission.admit(arrival, start, slo.value, self,
+                                            tenant=tenant)
         if verdict != "serve" and self.telemetry is not None:
-            counter = self._m_verdicts.get(verdict)
+            key = (verdict, tenant)
+            counter = self._m_verdicts.get(key)
             if counter is None:
+                labels = {"verdict": verdict}
+                if tenant is not None:
+                    labels["tenant"] = tenant
                 counter = self._reg.counter(
                     "admission_total",
                     help="requests shed or degraded at admission",
-                    verdict=verdict)
-                self._m_verdicts[verdict] = counter
+                    **labels)
+                self._m_verdicts[key] = counter
             counter.inc()
         return verdict
 

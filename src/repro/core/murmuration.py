@@ -422,15 +422,22 @@ class Murmuration:
     def infer(self, x: Optional[np.ndarray] = None,
               now: Optional[float] = None,
               request_id: Optional[int] = None,
-              degraded: bool = False) -> InferenceRecord:
+              degraded: bool = False,
+              tenant: Optional[str] = None) -> InferenceRecord:
         """Serve one inference request under the current SLO.
 
         ``degraded=True`` (set by the admission controller) skips the
         decision engine and serves the memoized min-submodel strategy at
         zero decision cost; the record's outcome becomes ``"degraded"``.
+
+        ``tenant`` tags the request's spans and (in executable mode)
+        every transfer it causes, so per-tenant wire accounting and
+        contention attribution work end to end.  None changes nothing.
         """
         if now is not None:
             self._now = now
+        if self.executor is not None:
+            self.executor.transport.tenant = tenant
         if self.control is not None and self.control.server is None:
             # Facade-only deployment: the facade drives the cadence.  A
             # server-attached loop ticks at the server instead, where
@@ -471,6 +478,8 @@ class Murmuration:
         with tracer.span("execute", sim_time=sim_t) as sp:
             if request_id is not None:
                 sp.annotate(request=request_id)
+            if tenant is not None:
+                sp.annotate(tenant=tenant)
             if self.faults is None:
                 if self.executor is not None and x is not None:
                     result: ExecutionResult = self.executor.execute(

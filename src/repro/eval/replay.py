@@ -59,7 +59,8 @@ def replay_stats(rec: Recording) -> ServingStats:
         inference_s=r["inference_s"], decision_s=r["decision_s"],
         switch_s=r["switch_s"], satisfied=r["satisfied"],
         outcome=r["outcome"], retries=r["retries"],
-        failovers=r["failovers"]) for r in requests]
+        failovers=r["failovers"],
+        tenant=r.get("tenant")) for r in requests]
     if not rec.batches:
         return ServingStats(records=records)
     batches = [BatchRecord(
@@ -183,6 +184,17 @@ def _check_summary(rec: Recording) -> List[str]:
         elif not _close(float(got), float(want)):
             problems.append(f"summary {key}: recorded {got}, "
                             f"replay derives {want}")
+    tenants = summary.get("tenants")
+    if tenants is not None:
+        derived_tenants: Dict[str, int] = {}
+        for r in stats.records:
+            if r.tenant is not None:
+                derived_tenants[r.tenant] = (
+                    derived_tenants.get(r.tenant, 0) + 1)
+        if {k: int(v) for k, v in tenants.items()} != derived_tenants:
+            problems.append(
+                f"summary tenants {tenants} != replay-derived "
+                f"{derived_tenants}")
     outcomes = summary.get("outcomes")
     if outcomes is not None:
         derived_outcomes = {k: v for k, v
@@ -235,6 +247,12 @@ def rerecord(rec: Recording) -> RunRecorder:
             **{k: tuple(v) if isinstance(v, list) else v
                for k, v in config.items()})
         report = run_mesh_chaos(mcfg, record=True).get(rec.variant)
+    elif scenario == "multi_tenant":
+        from .multi_tenant import MultiTenantConfig, run_multi_tenant
+        tcfg = MultiTenantConfig.from_dict(config)
+        report = run_multi_tenant(tcfg, record=True,
+                                  variants=(rec.variant,)
+                                  ).get(rec.variant)
     else:
         raise ValueError(f"cannot re-record unknown scenario {scenario!r}")
     if report is None or report.recorder is None:

@@ -11,6 +11,7 @@ from .grids import (
     training_grid,
     validation_conditions,
 )
+from .contention import ContentionTracker, Flow, SharedIngress
 from .link import LOOPBACK, Link
 from .mesh import (MeshCluster, MeshLink, RouteInfo, line_topology,
                    partial_mesh_topology, ring_topology)
@@ -19,6 +20,9 @@ from .topology import Cluster, NetworkCondition
 from .traces import TraceConfig, mobility_trace, random_walk_trace, step_trace
 
 __all__ = [
+    "ContentionTracker",
+    "Flow",
+    "SharedIngress",
     "Link",
     "LOOPBACK",
     "MeshCluster",

@@ -116,11 +116,14 @@ class MeshCluster:
 
     def __init__(self, devices: Sequence[DeviceProfile],
                  links: Sequence[MeshLink], rpc_overhead_ms: float = 1.0,
-                 reroute: bool = True):
+                 reroute: bool = True, contention=None):
         if not devices:
             raise ValueError("need at least one device")
         self.devices: List[DeviceProfile] = list(devices)
         self.rpc_overhead_ms = rpc_overhead_ms
+        #: optional ContentionTracker; None keeps pricing bit-identical
+        #: to the contention-free model
+        self.contention = contention
         #: False pins routing to the fault-free base paths (ablation)
         self.reroute = reroute
         # Per-device compute-time multipliers (straggler injection);
@@ -332,7 +335,12 @@ class MeshCluster:
                                               weight="delay"))
             except nx.NetworkXNoPath as exc:
                 raise NoRouteError(src, dst) from exc
-            rerouted = bool(self._down) and path != self._base_path(src, dst)
+            # Any overlay (down *or* degraded links) can move the
+            # min-delay path off the fault-free one; comparing against
+            # the base path whenever an overlay is active is what makes
+            # degradation-induced reroutes visible to the counters.
+            rerouted = (bool(self._down or self._degraded)
+                        and path != self._base_path(src, dst))
             info = self._price_path(path, rerouted)
         self._path_cache[key] = info
         self._path_cache[(dst, src)] = RouteInfo(
@@ -374,6 +382,39 @@ class MeshCluster:
         info = self.route_info(src, dst)
         return ((info.delay_ms + self.rpc_overhead_ms) / 1e3
                 + nbytes * 8.0 / (info.bandwidth_mbps * 1e6))
+
+    def timed_transfer(self, src: int, dst: int, nbytes: float,
+                       now: float, tenant: Optional[str] = None) -> float:
+        """Contention-aware routed transfer at simulated time ``now``.
+
+        Each edge of the current route is fair-shared with the flows in
+        flight on it — two routed paths that only overlap on one
+        bottleneck edge contend exactly there.  With no tracker or no
+        concurrent flow this delegates to :meth:`transfer_time`
+        (bit-identical pricing).
+        """
+        if src == dst:
+            return 0.0
+        tracker = self.contention
+        if tracker is None:
+            return self.transfer_time(src, dst, nbytes)
+        info = self.route_info(src, dst)
+        edges = tuple(_edge(a, b) for a, b in zip(info.path, info.path[1:]))
+        shares = {e: tracker.share(e, now) for e in edges}
+        worst = max(shares.values())
+        if worst == 1:
+            t = self.transfer_time(src, dst, nbytes)
+        else:
+            # bottleneck over *effective* per-edge bandwidth: an edge
+            # carrying more flows may beat the raw bottleneck to it
+            eff = min(self._graph.edges[a, b]["bandwidth"] * 1e6
+                      / shares[_edge(a, b)]
+                      for a, b in zip(info.path, info.path[1:]))
+            t = ((info.delay_ms + self.rpc_overhead_ms) / 1e3
+                 + nbytes * 8.0 / eff)
+        tracker.register(edges, now, now + t, nbytes=nbytes,
+                         tenant=tenant, share=worst)
+        return t
 
     def hop_count(self, src: int, dst: int) -> int:
         """Hops on the *current* route (a reroute may lengthen it)."""

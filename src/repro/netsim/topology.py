@@ -10,7 +10,7 @@ links.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..devices.profiles import DeviceProfile
 from .link import LOOPBACK, Link
@@ -53,7 +53,8 @@ class Cluster:
 
     def __init__(self, devices: Sequence[DeviceProfile],
                  condition: NetworkCondition,
-                 rpc_overhead_ms: float = 1.0):
+                 rpc_overhead_ms: float = 1.0,
+                 contention=None):
         if len(devices) < 1:
             raise ValueError("need at least the local device")
         if condition.num_remote != len(devices) - 1:
@@ -63,6 +64,9 @@ class Cluster:
         self.devices: List[DeviceProfile] = list(devices)
         self.condition = condition
         self.rpc_overhead_ms = rpc_overhead_ms
+        #: optional ContentionTracker; None keeps pricing bit-identical
+        #: to the contention-free model
+        self.contention = contention
         # Per-device compute-time multipliers (straggler injection).
         # Empty = nominal; only the fault injector ever populates this,
         # so planners that build their own Cluster from an *observed*
@@ -111,6 +115,48 @@ class Cluster:
         wire = nbytes * 8.0 / min(a.bandwidth_bps, b.bandwidth_bps)
         latency = (a.delay_ms + b.delay_ms + a.rpc_overhead_ms) / 1e3
         return wire + latency
+
+    def _star_edges(self, src: int, dst: int) -> tuple:
+        """Edges a star transfer occupies: one spoke, or both on a relay."""
+        if src == 0 or dst == 0:
+            other = dst if src == 0 else src
+            return ((0, other),)
+        return ((0, src), (0, dst))
+
+    def timed_transfer(self, src: int, dst: int, nbytes: float,
+                       now: float, tenant: Optional[str] = None) -> float:
+        """Contention-aware transfer pricing at simulated time ``now``.
+
+        With no tracker attached, or no concurrent flow on the wire,
+        this delegates to :meth:`transfer_time` — bit-identical pricing.
+        Otherwise each occupied spoke's bandwidth is divided by its
+        fair-share count and the flow is registered so later transfers
+        see it.
+        """
+        if src == dst:
+            return 0.0
+        tracker = self.contention
+        if tracker is None:
+            return self.transfer_time(src, dst, nbytes)
+        edges = self._star_edges(src, dst)
+        shares = {e: tracker.share(e, now) for e in edges}
+        worst = max(shares.values())
+        if worst == 1:
+            t = self.transfer_time(src, dst, nbytes)
+        elif src == 0 or dst == 0:
+            other = dst if src == 0 else src
+            link = self._links[other]
+            t = ((link.delay_ms + link.rpc_overhead_ms) / 1e3
+                 + nbytes * 8.0 / (link.bandwidth_bps / shares[edges[0]]))
+        else:
+            a, b = self._links[src], self._links[dst]
+            eff = min(a.bandwidth_bps / shares[(0, src)],
+                      b.bandwidth_bps / shares[(0, dst)])
+            t = (nbytes * 8.0 / eff
+                 + (a.delay_ms + b.delay_ms + a.rpc_overhead_ms) / 1e3)
+        tracker.register(edges, now, now + t, nbytes=nbytes,
+                         tenant=tenant, share=worst)
+        return t
 
     # -- dynamics ----------------------------------------------------------
     def set_condition(self, condition: NetworkCondition) -> None:

@@ -196,11 +196,26 @@ class BatchingInferenceServer(InferenceServer):
     # -- serving loop ------------------------------------------------------
     def run(self, num_requests: int,
             condition_trace: Optional[Sequence[NetworkCondition]] = None,
-            trace_period_s: float = 1.0) -> BatchedServingStats:
-        """Serve ``num_requests`` through the batched pipeline."""
+            trace_period_s: float = 1.0,
+            tenants: Optional[Sequence[Optional[str]]] = None,
+            ) -> BatchedServingStats:
+        """Serve ``num_requests`` through the batched pipeline.
+
+        ``tenants`` tags request ``i`` with ``tenants[i]`` exactly as in
+        :meth:`InferenceServer.run`; a batch may mix tenants (they share
+        the SLO and the condition cell, which is all batching needs).
+        """
         if num_requests <= 0:
             raise ValueError(
                 f"num_requests must be positive, got {num_requests}")
+        if tenants is not None and len(tenants) != num_requests:
+            raise ValueError(
+                f"tenants covers {len(tenants)} requests but "
+                f"num_requests is {num_requests}")
+        if self.ingress is not None:
+            raise ValueError(
+                "the batched pipeline does not model a shared ingress; "
+                "use InferenceServer for ingress-contended serving")
         stats = BatchedServingStats()
         self._last_trace_idx = None
         arrivals = self._arrivals(num_requests)
@@ -221,12 +236,13 @@ class BatchingInferenceServer(InferenceServer):
                 # strategy anyway).
                 while i < len(arrivals):
                     a = float(arrivals[i])
-                    verdict = self.control.admit(a, max(a, exec_free),
-                                                 self.system.slo)
+                    verdict = self.control.admit(
+                        a, max(a, exec_free), self.system.slo,
+                        tenant=self._tenant_of(tenants, i))
                     if verdict != "shed":
                         degraded = verdict == "degrade"
                         break
-                    self._shed(stats, a)
+                    self._shed(stats, a, tenant=self._tenant_of(tenants, i))
                     i += 1
                 if i >= len(arrivals):
                     break
@@ -270,6 +286,7 @@ class BatchingInferenceServer(InferenceServer):
                 self.recorder.on_batch(batch)
             for m, record in enumerate(res.items):
                 arrival = float(arrivals[i + m])
+                tenant = self._tenant_of(tenants, i + m)
                 with tracer.span("request", sim_time=arrival,
                                  request=i + m) as root:
                     with tracer.span("queue", sim_time=arrival) as qs:
@@ -277,6 +294,8 @@ class BatchingInferenceServer(InferenceServer):
                     root.set_sim_end(res.item_finish_s[m])
                     root.annotate(satisfied=record.satisfied,
                                   cache_hit=record.cache_hit, batch=k)
+                    if tenant is not None:
+                        root.annotate(tenant=tenant)
                     if record.outcome != "ok":
                         root.annotate(outcome=record.outcome)
                 self._observe_request(stats, RequestRecord(
@@ -288,7 +307,8 @@ class BatchingInferenceServer(InferenceServer):
                     satisfied=record.satisfied,
                     outcome=record.outcome,
                     retries=record.retries,
-                    failovers=record.failovers), batch=k)
+                    failovers=record.failovers,
+                    tenant=tenant), batch=k)
             if self.telemetry is not None:
                 self._m_batch_size.observe(float(size))
                 if size > 1:

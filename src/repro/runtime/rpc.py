@@ -82,6 +82,9 @@ class Transport:
         self.retry = retry if retry is not None else RetryPolicy()
         #: request id stamped onto every message until changed
         self.request_id: Optional[int] = None
+        #: tenant tag attributed to every transfer until changed
+        #: (feeds the contention tracker's per-tenant accounting)
+        self.tenant: Optional[str] = None
         self._total_bytes = 0
         self._num_messages = 0
         self._num_retries = 0
@@ -154,6 +157,16 @@ class Transport:
             self._m_unreachable.inc()
         raise DeviceUnreachableError(device, wasted, policy.max_retries)
 
+    def _wire_time(self, src: int, dst: int, nbytes: float,
+                   now: float) -> float:
+        """Transfer time at ``now``: contention-aware when the cluster
+        tracks flows, else the classic un-shared pricing (clusters
+        without ``timed_transfer`` — test doubles — keep working)."""
+        timed = getattr(self.cluster, "timed_transfer", None)
+        if timed is not None:
+            return timed(src, dst, nbytes, now, tenant=self.tenant)
+        return self.cluster.transfer_time(src, dst, nbytes)
+
     def _note_route(self, src: int, dst: int) -> None:
         """Count deliveries riding a backup path (mesh clusters only).
 
@@ -193,7 +206,7 @@ class Transport:
             if self.faults is not None:
                 wasted, retries = self._contend(src, dst, now)
             delivered = (now + wasted
-                         + self.cluster.transfer_time(src, dst, nbytes))
+                         + self._wire_time(src, dst, nbytes, now + wasted))
             payload = dequantize(qt)
         msg = Message(src, dst, payload, nbytes, now, delivered,
                       request_id=self.request_id, retries=retries)
@@ -220,7 +233,7 @@ class Transport:
             if self.faults is not None:
                 wasted, retries = self._contend(src, dst, now)
             delivered = (now + wasted
-                         + self.cluster.transfer_time(src, dst, nbytes))
+                         + self._wire_time(src, dst, nbytes, now + wasted))
         msg = Message(src, dst, payload, nbytes, now, delivered,
                       request_id=self.request_id, retries=retries)
         self.log.append(msg)

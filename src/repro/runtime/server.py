@@ -48,6 +48,8 @@ class RequestRecord:
     outcome: str = "ok"
     retries: int = 0
     failovers: int = 0
+    #: tenant the request belongs to (None = single-tenant serving)
+    tenant: Optional[str] = None
 
     @property
     def queue_wait_s(self) -> float:
@@ -62,26 +64,40 @@ class RequestRecord:
 class ServingStats:
     records: List[RequestRecord] = field(default_factory=list)
 
-    def _e2e(self) -> np.ndarray:
-        return np.array([r.end_to_end_s for r in self.records])
+    def _served(self) -> List[RequestRecord]:
+        """Records that actually occupied the pipeline.
+
+        Shed requests have all-zero timelines; folding them into
+        latency/queue aggregates would make p50/p95 *improve* the more
+        admission drops — a dashboard reading that rewards shedding.
+        They still count against :meth:`e2e_compliance`.
+        """
+        return [r for r in self.records if r.outcome != "shed"]
 
     @property
     def throughput_rps(self) -> float:
         if not self.records:
             return 0.0
-        span = self.records[-1].finish - self.records[0].arrival
+        # max over all finishes, not the last record's: a shed request
+        # has finish == arrival, so a trailing shed would shrink the
+        # span and inflate throughput.
+        span = (max(r.finish for r in self.records)
+                - self.records[0].arrival)
         return len(self.records) / span if span > 0 else 0.0
 
     def percentile_ms(self, q: float) -> float:
-        if not self.records:
+        served = self._served()
+        if not served:
             return 0.0
-        return float(np.percentile(self._e2e(), q) * 1e3)
+        return float(np.percentile([r.end_to_end_s for r in served],
+                                   q) * 1e3)
 
     @property
     def mean_queue_wait_ms(self) -> float:
-        if not self.records:
+        served = self._served()
+        if not served:
             return 0.0
-        return float(np.mean([r.queue_wait_s for r in self.records]) * 1e3)
+        return float(np.mean([r.queue_wait_s for r in served]) * 1e3)
 
     @property
     def slo_compliance(self) -> float:
@@ -131,6 +147,37 @@ class ServingStats:
                  and r.end_to_end_s <= slo_s for r in self.records)
         return ok / len(self.records)
 
+    def tenants(self) -> List[str]:
+        """Tenant names present in the record stream, first-seen order."""
+        seen: List[str] = []
+        for r in self.records:
+            if r.tenant is not None and r.tenant not in seen:
+                seen.append(r.tenant)
+        return seen
+
+    def per_tenant(self) -> "dict":
+        """Per-tenant filtered views (plain :class:`ServingStats`).
+
+        Untagged records are excluded; a single-tenant run returns an
+        empty dict.
+        """
+        return {t: ServingStats(records=[r for r in self.records
+                                         if r.tenant == t])
+                for t in self.tenants()}
+
+    def worst_tenant_e2e_compliance(self, slo_s: float) -> float:
+        """The *worst* tenant's e2e compliance — the fairness headline.
+
+        A throughput-greedy admission policy can keep the aggregate
+        number high while starving one tenant; the min over tenants is
+        what a per-tenant SLO contract actually binds.  Falls back to
+        the aggregate when no record is tenant-tagged.
+        """
+        views = self.per_tenant()
+        if not views:
+            return self.e2e_compliance(slo_s)
+        return min(v.e2e_compliance(slo_s) for v in views.values())
+
     def summary(self) -> str:
         base = (f"{len(self.records)} requests, "
                 f"{self.throughput_rps:.1f} rps, "
@@ -152,7 +199,7 @@ class InferenceServer:
     def __init__(self, system: "Murmuration", arrival_rate_hz: float,
                  seed: int = 0, telemetry: Optional[Telemetry] = None,
                  recorder: Optional[RunRecorder] = None,
-                 control=None, arrival_process=None):
+                 control=None, arrival_process=None, ingress=None):
         """``control`` (a :class:`~repro.control.ControlLoop`) lets the
         server drive the control cadence with queue context and consult
         admission per request; None keeps serving byte-identical.
@@ -160,6 +207,11 @@ class InferenceServer:
         ``arrival_process`` overrides Poisson arrivals: a callable
         ``(rng, num_requests) -> array of arrival times`` (sorted,
         seconds).  Used by overload-burst scenarios.
+
+        ``ingress`` (a :class:`~repro.netsim.contention.SharedIngress`)
+        models the shared last-mile uplink request payloads cross
+        before service can start; concurrent tenants fair-share it.
+        None keeps serving byte-identical.
         """
         if arrival_rate_hz <= 0:
             raise ValueError("arrival rate must be positive")
@@ -170,6 +222,7 @@ class InferenceServer:
         self.recorder = recorder
         self.control = control
         self.arrival_process = arrival_process
+        self.ingress = ingress
         self._last_trace_idx: Optional[int] = None
         if control is not None:
             control.attach(system=system, server=self)
@@ -189,6 +242,8 @@ class InferenceServer:
                 "slo_compliance", help="running SLO compliance rate")
             # outcomes_total counters resolved once per outcome string
             self._m_outcomes: dict = {}
+            # per-tenant counters resolved once per (metric, tenant)
+            self._m_tenants: dict = {}
             self._reg = reg
             # snapshot gauge: refreshed at export time, not per request
             reg.add_collect_hook(self._sync_compliance)
@@ -234,6 +289,26 @@ class InferenceServer:
                     outcome=rr.outcome)
                 self._m_outcomes[rr.outcome] = counter
             counter.inc()
+            if rr.tenant is not None:
+                self._tenant_counter("tenant_requests_total",
+                                     "requests per tenant",
+                                     rr.tenant).inc()
+                if rr.satisfied:
+                    self._tenant_counter("tenant_satisfied_total",
+                                         "SLO-satisfied requests per tenant",
+                                         rr.tenant).inc()
+                if rr.outcome == "shed":
+                    self._tenant_counter("tenant_shed_total",
+                                         "admission-shed requests per tenant",
+                                         rr.tenant).inc()
+
+    def _tenant_counter(self, name: str, help_text: str, tenant: str):
+        key = (name, tenant)
+        counter = self._m_tenants.get(key)
+        if counter is None:
+            counter = self._reg.counter(name, help=help_text, tenant=tenant)
+            self._m_tenants[key] = counter
+        return counter
 
     def _arrivals(self, num_requests: int) -> np.ndarray:
         """Arrival times: Poisson by default, or the injected process."""
@@ -249,13 +324,18 @@ class InferenceServer:
                                               num_requests))
 
     def _shed(self, stats: ServingStats, arrival: float,
-              batch: Optional[int] = None) -> None:
+              batch: Optional[int] = None,
+              tenant: Optional[str] = None) -> None:
         """Account one admission-shed request: zero service, not
         satisfied, pipeline untouched."""
         self._observe_request(stats, RequestRecord(
             arrival=arrival, start=arrival, finish=arrival,
             inference_s=0.0, decision_s=0.0, switch_s=0.0,
-            satisfied=False, outcome="shed"), batch=batch)
+            satisfied=False, outcome="shed", tenant=tenant), batch=batch)
+
+    @staticmethod
+    def _tenant_of(tenants, i: int) -> Optional[str]:
+        return tenants[i] if tenants is not None else None
 
     @staticmethod
     def _backlog(arrivals: np.ndarray, i: int, busy_until: float) -> int:
@@ -266,15 +346,25 @@ class InferenceServer:
 
     def run(self, num_requests: int,
             condition_trace: Optional[Sequence[NetworkCondition]] = None,
-            trace_period_s: float = 1.0) -> ServingStats:
+            trace_period_s: float = 1.0,
+            tenants: Optional[Sequence[Optional[str]]] = None,
+            ) -> ServingStats:
         """Serve ``num_requests``; returns the timeline statistics.
 
         ``condition_trace`` (optional) switches the true network state
         every ``trace_period_s`` of simulated time.
+
+        ``tenants`` (optional) tags request ``i`` with ``tenants[i]``;
+        the tag rides through admission, the facade, records, and
+        telemetry.  None keeps single-tenant serving byte-identical.
         """
         if num_requests <= 0:
             raise ValueError(
                 f"num_requests must be positive, got {num_requests}")
+        if tenants is not None and len(tenants) != num_requests:
+            raise ValueError(
+                f"tenants covers {len(tenants)} requests but "
+                f"num_requests is {num_requests}")
         stats = ServingStats()
         self._last_trace_idx = None
         arrivals = self._arrivals(num_requests)
@@ -282,18 +372,28 @@ class InferenceServer:
         tracer = Telemetry.tracer_of(self.telemetry)
         for i, arrival in enumerate(arrivals):
             arrival = float(arrival)
-            start = max(arrival, server_free)
+            tenant = self._tenant_of(tenants, i)
+            ready = arrival
+            if self.ingress is not None:
+                # the payload crosses the shared uplink before service
+                # can start; concurrent tenants fair-share the wire
+                ready = arrival + self.ingress.upload_time(arrival, tenant)
+            start = max(ready, server_free)
             if self.control is not None:
                 self.control.maybe_tick(
                     arrival, stats=stats,
                     queue_depth=self._backlog(arrivals, i, server_free))
                 verdict = self.control.admit(arrival, start,
-                                             self.system.slo)
+                                             self.system.slo,
+                                             tenant=tenant)
                 if verdict == "shed":
-                    self._shed(stats, arrival)
+                    self._shed(stats, arrival, tenant=tenant)
                     continue
             else:
                 verdict = "serve"
+            if self.ingress is not None:
+                # only admitted requests occupy the uplink
+                self.ingress.admit(arrival, tenant)
             self._apply_trace(condition_trace, trace_period_s, start)
             with tracer.span("request", sim_time=arrival,
                              request=i) as root:
@@ -301,7 +401,7 @@ class InferenceServer:
                     qs.set_sim_end(start)
                 record: "InferenceRecord" = self.system.infer(
                     now=start, request_id=i,
-                    degraded=(verdict == "degrade"))
+                    degraded=(verdict == "degrade"), tenant=tenant)
                 # Summed left-to-right in pipeline order (decision,
                 # switch, execute) so the batched server's size-1
                 # degenerate case reproduces these floats bit-exactly.
@@ -310,6 +410,8 @@ class InferenceServer:
                 root.set_sim_end(finish)
                 root.annotate(satisfied=record.satisfied,
                               cache_hit=record.cache_hit)
+                if tenant is not None:
+                    root.annotate(tenant=tenant)
                 if record.outcome != "ok":
                     root.annotate(outcome=record.outcome)
             server_free = finish
@@ -321,5 +423,6 @@ class InferenceServer:
                 satisfied=record.satisfied,
                 outcome=record.outcome,
                 retries=record.retries,
-                failovers=record.failovers))
+                failovers=record.failovers,
+                tenant=tenant))
         return stats

@@ -106,7 +106,7 @@ class RunRecorder:
     def on_request(self, request_id: int, rr,
                    batch: Optional[int] = None) -> None:
         """One finished request (a ``RequestRecord``-shaped object)."""
-        self.requests.append({
+        rec = {
             "record": "request",
             "id": int(request_id),
             "arrival": float(rr.arrival),
@@ -120,7 +120,13 @@ class RunRecorder:
             "retries": int(rr.retries),
             "failovers": int(rr.failovers),
             "batch": (int(batch) if batch is not None else None),
-        })
+        }
+        # tenant tag only when present: single-tenant recordings (and
+        # their golden fixtures) stay byte-identical
+        tenant = getattr(rr, "tenant", None)
+        if tenant is not None:
+            rec["tenant"] = str(tenant)
+        self.requests.append(rec)
 
     def on_batch(self, br) -> None:
         """One dispatched batch (a ``BatchRecord``-shaped object)."""
@@ -189,6 +195,13 @@ class RunRecorder:
                 mean_batch_size=float(stats.mean_batch_size),
                 amortized_decisions=int(stats.amortized_decisions),
                 overlap_saved_s=float(stats.overlap_saved_s))
+        # per-tenant request counts only when the run was tenant-tagged,
+        # so single-tenant summaries keep their exact key set
+        tenants = (stats.tenants() if hasattr(stats, "tenants") else [])
+        if tenants:
+            summary["tenants"] = {
+                t: sum(1 for r in stats.records if r.tenant == t)
+                for t in tenants}
         self.summary = summary
 
     # -- serialization -----------------------------------------------------

@@ -1,0 +1,148 @@
+"""Multi-tenant scenario: stream determinism, tenant threading, and
+record/replay round trips (scenario name ``multi_tenant``)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.eval.multi_tenant import (MultiTenantConfig, TenantSpec,
+                                     default_tenants, run_multi_tenant,
+                                     tenant_arrivals)
+from repro.eval.replay import replay_stats, rerecord, verify_invariants
+from repro.telemetry.recorder import read_recordings, write_recordings
+
+_CFG = MultiTenantConfig(num_requests=60, trace_steps=60)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return run_multi_tenant(_CFG)
+
+
+class TestTenantSpec:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate_hz"):
+            TenantSpec("a", rate_hz=0.0)
+        with pytest.raises(ValueError, match="weight"):
+            TenantSpec("a", rate_hz=1.0, weight=-1.0)
+        with pytest.raises(ValueError, match="burst_factor"):
+            TenantSpec("a", rate_hz=1.0, burst_factor=0.0)
+
+    def test_config_rejects_duplicate_tenant_names(self):
+        with pytest.raises(ValueError, match="unique"):
+            MultiTenantConfig(tenants=(TenantSpec("a", 1.0),
+                                       TenantSpec("a", 2.0)))
+        with pytest.raises(ValueError, match="at least one"):
+            MultiTenantConfig(tenants=())
+
+    def test_default_tenants_shape(self):
+        specs = default_tenants(3)
+        assert [s.name for s in specs] == ["burst", "steady-1", "steady-2"]
+        assert specs[0].burst_factor > 1 and specs[0].burst_window
+        with pytest.raises(ValueError):
+            default_tenants(0)
+
+    def test_from_dict_round_trips_the_config(self):
+        from dataclasses import asdict
+        cfg = MultiTenantConfig(num_requests=10)
+        assert MultiTenantConfig.from_dict(asdict(cfg)) == cfg
+
+
+class TestTenantArrivals:
+    def test_stream_is_a_pure_function_of_the_config(self):
+        t1, n1 = tenant_arrivals(_CFG)
+        t2, n2 = tenant_arrivals(_CFG)
+        assert np.array_equal(t1, t2) and n1 == n2
+
+    def test_stream_is_sorted_and_fully_tagged(self):
+        times, names = tenant_arrivals(_CFG)
+        assert len(times) == len(names) == _CFG.num_requests
+        assert np.all(np.diff(times) >= 0)
+        assert set(names) <= {t.name for t in _CFG.tenants}
+
+    def test_burst_concentrates_the_bursters_arrivals(self):
+        times, names = tenant_arrivals(MultiTenantConfig(num_requests=200))
+        t0, t1 = default_tenants()[0].burst_window
+        in_window = sum(1 for t, n in zip(times, names)
+                        if n == "burst" and t0 <= t < t1)
+        before = sum(1 for t, n in zip(times, names)
+                     if n == "burst" and t < t0)
+        assert in_window > before   # 8x the rate inside the window
+
+
+class TestScenario:
+    def test_identical_stream_across_variants(self, reports):
+        streams = [[(r.arrival, r.tenant) for r in rep.stats.records]
+                   for rep in reports.values()]
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_fifo_has_no_control_and_sheds_nothing(self, reports):
+        assert reports["fifo"].control is None
+        assert reports["fifo"].shed == 0
+
+    def test_contention_is_observed(self, reports):
+        for rep in reports.values():
+            assert rep.tracker is not None
+            assert rep.tracker.contended_total > 0
+
+    def test_single_tenant_without_overlap_is_contention_free(self):
+        """Acceptance: one tenant whose uploads never overlap serves
+        bit-identically with the tracker on or off — attaching the
+        contention model to a quiet system must not move a float."""
+        lone = (TenantSpec("only", rate_hz=0.2),)
+        base = MultiTenantConfig(tenants=lone, num_requests=15,
+                                 trace_steps=60)
+        on = run_multi_tenant(base, variants=("fifo",))["fifo"]
+        off = run_multi_tenant(
+            MultiTenantConfig(tenants=lone, num_requests=15,
+                              trace_steps=60, contention=False),
+            variants=("fifo",))["fifo"]
+        assert on.tracker.contended_total == 0   # genuinely no overlap
+        assert off.tracker is None
+        assert on.stats.records == off.stats.records
+
+
+class TestRecordReplay:
+    @pytest.fixture(scope="class")
+    def recorded(self):
+        return run_multi_tenant(_CFG, record=True, variants=("fifo", "fair"))
+
+    def test_replay_reproduces_stats_exactly(self, recorded):
+        for rep in recorded.values():
+            stats = replay_stats(rep.recorder.recording())
+            assert stats.records == rep.stats.records
+
+    def test_recordings_satisfy_all_invariants(self, recorded):
+        for rep in recorded.values():
+            assert verify_invariants(rep.recorder.recording()) == []
+
+    def test_summary_carries_per_tenant_counts(self, recorded):
+        summary = recorded["fair"].recorder.summary
+        assert sum(summary["tenants"].values()) == _CFG.num_requests
+        assert set(summary["tenants"]) == {t.name for t in _CFG.tenants}
+
+    def test_tenant_count_drift_is_detected(self, recorded):
+        rec = recorded["fair"].recorder.recording()
+        rec.summary = dict(rec.summary)
+        rec.summary["tenants"] = dict(rec.summary["tenants"])
+        key = next(iter(rec.summary["tenants"]))
+        rec.summary["tenants"][key] += 1
+        assert any("tenants" in p for p in verify_invariants(rec))
+
+    def test_rerecord_dispatches_and_matches_byte_for_byte(self, recorded):
+        first = io.StringIO()
+        write_recordings(first, [recorded["fair"].recorder])
+        rec = read_recordings(io.StringIO(first.getvalue()))[0]
+        assert rec.scenario == "multi_tenant"
+        second = io.StringIO()
+        write_recordings(second, [rerecord(rec)])
+        assert first.getvalue() == second.getvalue()
+
+    def test_tenant_tag_survives_the_json_round_trip(self, recorded):
+        buf = io.StringIO()
+        write_recordings(buf, [recorded["fair"].recorder])
+        rec = read_recordings(io.StringIO(buf.getvalue()))[0]
+        stats = replay_stats(rec)
+        assert stats.records == recorded["fair"].stats.records
+        assert stats.tenants() == recorded["fair"].stats.tenants()

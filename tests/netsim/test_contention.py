@@ -1,0 +1,217 @@
+"""Shared-link contention: fair-share invariants and bit-identity.
+
+Pins the two contracts the contention model stands on:
+
+* a lone flow (or ``contention=None``) is priced **bit-identically** to
+  the contention-free link model — the serving stack's floats cannot
+  drift just because a tracker is attached;
+* two simultaneous flows each get at least half the link (arrival-order
+  fair share: the first keeps the full wire, the second sees half).
+"""
+
+import pytest
+
+from repro.devices import rpi4
+from repro.netsim import (Cluster, ContentionTracker, Link, MeshLink,
+                          MeshCluster, NetworkCondition, SharedIngress)
+from repro.netsim.contention import INGRESS_EDGE
+
+
+MB = 1_000_000.0
+
+
+def _cluster(tracker=None, n_remote=2, bw=100.0, delay=10.0):
+    devices = [rpi4() for _ in range(n_remote + 1)]
+    condition = NetworkCondition.uniform(n_remote, bw, delay)
+    return Cluster(devices, condition, contention=tracker)
+
+
+class TestContentionTracker:
+    def test_empty_tracker_sees_no_concurrency(self):
+        tracker = ContentionTracker()
+        assert tracker.concurrency((0, 1), 0.0) == 0
+        assert tracker.share((0, 1), 0.0) == 1
+
+    def test_in_flight_flow_raises_share_only_while_in_flight(self):
+        tracker = ContentionTracker()
+        tracker.register([(0, 1)], start=1.0, end=2.0)
+        assert tracker.share((0, 1), 0.5) == 1   # not started yet
+        assert tracker.share((0, 1), 1.0) == 2   # start is inclusive
+        assert tracker.share((0, 1), 1.5) == 2
+        assert tracker.share((0, 1), 2.0) == 1   # end is exclusive
+
+    def test_edges_are_canonicalized(self):
+        tracker = ContentionTracker()
+        tracker.register([(1, 0)], start=0.0, end=1.0)
+        assert tracker.share((0, 1), 0.5) == 2
+        assert tracker.share((1, 0), 0.5) == 2
+
+    def test_flows_only_contend_on_shared_edges(self):
+        tracker = ContentionTracker()
+        tracker.register([(0, 1)], start=0.0, end=1.0)
+        assert tracker.share((0, 2), 0.5) == 1
+
+    def test_finished_flows_are_pruned_lazily(self):
+        tracker = ContentionTracker()
+        for k in range(50):
+            tracker.register([(0, 1)], start=float(k), end=float(k) + 0.5)
+        # registering at t=49 pruned everything that ended before it
+        assert len(tracker._flows[(0, 1)]) == 1
+        assert tracker.flows_total == 50
+
+    def test_accounting_counts_contended_flows_and_peak(self):
+        tracker = ContentionTracker()
+        tracker.register([(0, 1)], 0.0, 1.0, share=1)
+        tracker.register([(0, 1)], 0.5, 1.5, share=2)
+        tracker.register([(0, 1)], 0.6, 1.6, share=3)
+        assert tracker.flows_total == 3
+        assert tracker.contended_total == 2
+        assert tracker.peak_share[(0, 1)] == 3
+        assert tracker.stats()["peak_share"] == 3
+
+    def test_tenant_bytes_ledger(self):
+        tracker = ContentionTracker()
+        tracker.register([(0, 1)], 0.0, 1.0, nbytes=100.0, tenant="a")
+        tracker.register([(0, 1)], 0.1, 1.1, nbytes=50.0, tenant="a")
+        tracker.register([(0, 1)], 0.2, 1.2, nbytes=25.0, tenant="b")
+        assert tracker.tenant_bytes() == {"a": 150.0, "b": 25.0}
+
+
+class TestStarContention:
+    def test_no_tracker_is_bit_identical(self):
+        plain = _cluster()
+        timed = _cluster(tracker=None)
+        assert timed.timed_transfer(0, 1, MB, now=0.0) \
+            == plain.transfer_time(0, 1, MB)
+
+    def test_lone_flow_is_bit_identical(self):
+        """Zero concurrency must delegate to transfer_time — not even a
+        float representation change."""
+        cluster = _cluster(tracker=ContentionTracker())
+        expected = cluster.transfer_time(0, 1, MB)
+        assert cluster.timed_transfer(0, 1, MB, now=0.0) == expected
+
+    def test_two_simultaneous_flows_each_get_at_least_half(self):
+        """Arrival-order fair share: the first keeps the full wire, the
+        second is priced at half bandwidth — neither below half."""
+        cluster = _cluster(tracker=ContentionTracker())
+        solo = cluster.transfer_time(0, 1, MB)
+        first = cluster.timed_transfer(0, 1, MB, now=0.0)
+        second = cluster.timed_transfer(0, 1, MB, now=0.0)
+        assert first == solo
+        link = cluster.link_to(1)
+        latency = (link.delay_ms + link.rpc_overhead_ms) / 1e3
+        half_bw_wire = MB * 8.0 / (link.bandwidth_bps / 2)
+        assert second == pytest.approx(latency + half_bw_wire)
+        # wire time no worse than half the link for either flow
+        assert (first - latency) <= half_bw_wire + 1e-12
+        assert (second - latency) <= half_bw_wire + 1e-12
+
+    def test_disjoint_spokes_do_not_contend(self):
+        cluster = _cluster(tracker=ContentionTracker())
+        cluster.timed_transfer(0, 1, MB, now=0.0)
+        assert cluster.timed_transfer(0, 2, MB, now=0.0) \
+            == cluster.transfer_time(0, 2, MB)
+
+    def test_relay_transfer_contends_on_either_spoke(self):
+        """A remote<->remote relay occupies both spokes: traffic already
+        on the destination spoke slows it down."""
+        cluster = _cluster(tracker=ContentionTracker())
+        base = cluster.transfer_time(1, 2, MB)
+        cluster.timed_transfer(0, 2, MB, now=0.0)   # busy spoke 0-2
+        relayed = cluster.timed_transfer(1, 2, MB, now=0.0)
+        assert relayed > base
+
+    def test_flow_expiry_restores_full_bandwidth(self):
+        cluster = _cluster(tracker=ContentionTracker())
+        t = cluster.timed_transfer(0, 1, MB, now=0.0)
+        later = t + 1.0
+        assert cluster.timed_transfer(0, 1, MB, now=later) \
+            == cluster.transfer_time(0, 1, MB)
+
+    def test_same_device_transfer_is_free(self):
+        cluster = _cluster(tracker=ContentionTracker())
+        assert cluster.timed_transfer(1, 1, MB, now=0.0) == 0.0
+
+
+class TestMeshContention:
+    def _mesh(self, tracker):
+        # 0 -1- 1 -1- 2 relay chain plus a slow direct 0-2 edge: both
+        # routed paths 0->2 and 1->2 share the 1-2 bottleneck edge
+        devices = [rpi4() for _ in range(3)]
+        links = [MeshLink(0, 1, 100.0, 5.0), MeshLink(1, 2, 100.0, 5.0)]
+        return MeshCluster(devices, links, contention=tracker)
+
+    def test_lone_mesh_flow_is_bit_identical(self):
+        mesh = self._mesh(ContentionTracker())
+        expected = mesh.transfer_time(0, 2, MB)
+        assert mesh.timed_transfer(0, 2, MB, now=0.0) == expected
+
+    def test_paths_sharing_a_bottleneck_edge_contend_there(self):
+        """0->2 routes 0-1-2 and 1->2 routes 1-2: different endpoint
+        pairs, same bottleneck edge — the second flow must pay for the
+        first one's occupancy of 1-2."""
+        tracker = ContentionTracker()
+        mesh = self._mesh(tracker)
+        base = mesh.transfer_time(1, 2, MB)
+        mesh.timed_transfer(0, 2, MB, now=0.0)      # occupies 0-1 and 1-2
+        shared = mesh.timed_transfer(1, 2, MB, now=0.0)
+        assert shared > base
+        assert tracker.contended_total == 1
+        assert tracker.peak_share[(1, 2)] == 2
+
+    def test_disjoint_mesh_paths_do_not_contend(self):
+        tracker = ContentionTracker()
+        mesh = self._mesh(tracker)
+        mesh.timed_transfer(0, 1, MB, now=0.0)      # occupies only 0-1
+        assert mesh.timed_transfer(1, 2, MB, now=0.0) \
+            == mesh.transfer_time(1, 2, MB)
+
+
+class TestSharedIngress:
+    def _ingress(self, tracker, bw=40.0, delay=5.0, payload=256 * 1024.0):
+        return SharedIngress(Link(bandwidth_mbps=bw, delay_ms=delay),
+                             tracker, payload_bytes=payload)
+
+    def test_rejects_negative_payload(self):
+        with pytest.raises(ValueError, match="payload_bytes"):
+            self._ingress(None, payload=-1.0)
+
+    def test_lone_upload_matches_the_link_model(self):
+        ingress = self._ingress(ContentionTracker())
+        assert ingress.upload_time(0.0) \
+            == ingress.link.transfer_time(ingress.payload_bytes)
+
+    def test_upload_time_does_not_commit_the_flow(self):
+        """upload_time is a peek; only admit() occupies the wire."""
+        tracker = ContentionTracker()
+        ingress = self._ingress(tracker)
+        t = ingress.upload_time(0.0)
+        assert ingress.upload_time(0.0) == t      # still uncontended
+        ingress.admit(0.0)
+        assert ingress.upload_time(0.0) > t       # now it shares
+
+    def test_concurrent_uploads_each_get_at_least_half(self):
+        ingress = self._ingress(ContentionTracker())
+        solo = ingress.admit(0.0, tenant="a")
+        second = ingress.admit(0.0, tenant="b")
+        link = ingress.link
+        latency = (link.delay_ms + link.rpc_overhead_ms) / 1e3
+        half_wire = ingress.payload_bytes * 8.0 / (link.bandwidth_bps / 2)
+        assert solo < second <= latency + half_wire + 1e-12
+
+    def test_per_tenant_payloads(self):
+        ingress = SharedIngress(
+            Link(bandwidth_mbps=40.0, delay_ms=5.0), None,
+            payload_bytes=1024.0,
+            per_tenant_bytes={"big": 4096.0})
+        assert ingress.upload_time(0.0, tenant="big") \
+            > ingress.upload_time(0.0, tenant="small-unknown")
+
+    def test_ingress_edge_cannot_collide_with_devices(self):
+        tracker = ContentionTracker()
+        ingress = self._ingress(tracker)
+        ingress.admit(0.0, tenant="a")
+        assert tracker.concurrency(INGRESS_EDGE, 0.0) == 1
+        assert tracker.concurrency((0, 1), 0.0) == 0
+        assert INGRESS_EDGE[0] < 0

@@ -90,6 +90,26 @@ class TestFailoverRouting:
         assert info.path == (0, 3, 2, 1)
         assert info.delay_ms == pytest.approx(30.0)
 
+    def test_degradation_induced_path_change_counts_as_reroute(self):
+        """Regression: ``rerouted`` was derived from ``bool(self._down)``
+        alone, so a path moved off its base route by a *degraded* (not
+        down) link reported ``rerouted=False`` — reroute counters and
+        the chaos benchmark's reroute accounting silently missed every
+        degradation-induced failover."""
+        mesh = _ring()
+        mesh.apply_link_faults(degraded={(0, 1): (1.0, 50.0)})
+        info = mesh.route_info(0, 1)
+        assert info.path == (0, 3, 2, 1)   # Dijkstra avoided the edge
+        assert info.rerouted               # ...and must say so
+
+    def test_degraded_but_still_cheapest_path_is_not_a_reroute(self):
+        """A degradation that does not move the path must not flag it."""
+        mesh = _ring()
+        mesh.apply_link_faults(degraded={(0, 1): (1.0, 5.0)})
+        info = mesh.route_info(0, 1)
+        assert info.path == (0, 1)
+        assert not info.rerouted
+
     def test_apply_link_faults_change_detection(self):
         mesh = _ring()
         assert mesh.apply_link_faults(down=[(0, 1)]) is True

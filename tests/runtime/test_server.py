@@ -19,6 +19,20 @@ def _system(slo_ms=200.0, seed=0):
         monitor_noise=0.0, seed=seed)
 
 
+def _served_record(arrival, finish, start=None, tenant=None,
+                   satisfied=True):
+    start = arrival if start is None else start
+    return RequestRecord(arrival=arrival, start=start, finish=finish,
+                         inference_s=finish - start, decision_s=0.0,
+                         switch_s=0.0, satisfied=satisfied, tenant=tenant)
+
+
+def _shed_record(arrival, tenant=None):
+    return RequestRecord(arrival=arrival, start=arrival, finish=arrival,
+                         inference_s=0.0, decision_s=0.0, switch_s=0.0,
+                         satisfied=False, outcome="shed", tenant=tenant)
+
+
 class TestRequestRecord:
     def test_derived_times(self):
         r = RequestRecord(arrival=1.0, start=1.5, finish=2.0,
@@ -26,6 +40,103 @@ class TestRequestRecord:
                           satisfied=True)
         assert r.queue_wait_s == pytest.approx(0.5)
         assert r.end_to_end_s == pytest.approx(1.0)
+
+
+class TestShedAccounting:
+    def test_trailing_shed_does_not_inflate_throughput(self):
+        """Regression: throughput used ``records[-1].finish`` as the
+        span's end.  A shed request has finish == arrival, so a shed
+        arriving after the last served finish *shrank* the span and
+        inflated throughput — shedding made the server look faster."""
+        served = [_served_record(0.0, 10.0)]
+        stats = ServingStats(records=served + [_shed_record(5.0)])
+        assert stats.throughput_rps == pytest.approx(2 / 10.0)
+
+    def test_percentiles_exclude_shed_zero_timelines(self):
+        """Regression: sheds (zero end-to-end) were folded into the
+        latency percentiles, so p50/p95 *improved* the more admission
+        dropped — a reading that rewards shedding."""
+        served = [_served_record(float(i), float(i) + 2.0)
+                  for i in range(4)]
+        clean = ServingStats(records=list(served))
+        shedding = ServingStats(
+            records=served + [_shed_record(float(i)) for i in range(4)])
+        assert shedding.percentile_ms(50) == clean.percentile_ms(50)
+        assert shedding.percentile_ms(95) == clean.percentile_ms(95)
+
+    def test_queue_wait_excludes_sheds(self):
+        served = [_served_record(0.0, 2.0, start=1.0)]
+        stats = ServingStats(records=served + [_shed_record(0.5)])
+        assert stats.mean_queue_wait_ms == pytest.approx(1000.0)
+
+    def test_all_shed_run_degrades_to_zero(self):
+        stats = ServingStats(records=[_shed_record(0.0), _shed_record(1.0)])
+        assert stats.percentile_ms(95) == 0.0
+        assert stats.mean_queue_wait_ms == 0.0
+        assert stats.shed_count == 2
+
+    def test_e2e_compliance_still_counts_sheds_against(self):
+        """The deployment-facing number must not get the same pass: a
+        shed request is an unanswered request."""
+        stats = ServingStats(records=[_served_record(0.0, 0.1),
+                                      _shed_record(1.0)])
+        assert stats.e2e_compliance(1.0) == pytest.approx(0.5)
+
+
+class TestTenantViews:
+    def _stats(self):
+        return ServingStats(records=[
+            _served_record(0.0, 0.1, tenant="a"),
+            _served_record(1.0, 3.0, tenant="b"),
+            _shed_record(2.0, tenant="b"),
+            _served_record(3.0, 3.1, tenant="a"),
+        ])
+
+    def test_tenants_first_seen_order(self):
+        assert self._stats().tenants() == ["a", "b"]
+
+    def test_per_tenant_partitions_records(self):
+        views = self._stats().per_tenant()
+        assert len(views["a"].records) == 2
+        assert len(views["b"].records) == 2
+        assert views["b"].shed_count == 1
+
+    def test_worst_tenant_is_the_min(self):
+        stats = self._stats()
+        assert stats.worst_tenant_e2e_compliance(1.0) == 0.0  # tenant b
+        assert stats.e2e_compliance(1.0) == pytest.approx(0.5)
+
+    def test_untagged_records_fall_back_to_aggregate(self):
+        stats = ServingStats(records=[_served_record(0.0, 0.1)])
+        assert stats.per_tenant() == {}
+        assert stats.worst_tenant_e2e_compliance(1.0) \
+            == stats.e2e_compliance(1.0)
+
+    def test_tenant_tags_ride_through_the_server(self):
+        server = InferenceServer(_system(), arrival_rate_hz=2.0, seed=8)
+        tags = ["a", "b"] * 5
+        stats = server.run(num_requests=10, tenants=tags)
+        assert [r.tenant for r in stats.records] == tags
+
+    def test_tenant_length_mismatch_is_rejected(self):
+        server = InferenceServer(_system(), arrival_rate_hz=2.0, seed=8)
+        with pytest.raises(ValueError, match="tenants covers"):
+            server.run(num_requests=10, tenants=["a"])
+
+    def test_untagged_serving_is_bit_identical(self):
+        """tenants=None must not move a single float (decision cost
+        pinned: wall-clock decisions differ run to run by themselves)."""
+        from repro.eval.serving_load import _PinnedTimeEngine
+
+        def pinned():
+            system = _system(seed=9)
+            system.engine = _PinnedTimeEngine(system.engine, 0.01)
+            return system
+
+        a = InferenceServer(pinned(), arrival_rate_hz=2.0, seed=9).run(8)
+        b = InferenceServer(pinned(), arrival_rate_hz=2.0,
+                            seed=9).run(8, tenants=None)
+        assert a.records == b.records
 
 
 class TestServingStatsEmpty:
