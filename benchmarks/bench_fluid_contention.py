@@ -1,0 +1,147 @@
+"""Snapshot vs fluid bandwidth sharing: what admission-time bias costs.
+
+The snapshot tracker (``ContentionTracker``) freezes every upload's
+fair share at admission: a flow admitted during the burst pays the
+burst-width share for its *entire* lifetime, even after the burst
+drains.  Those pessimistic upload predictions feed the admission
+controller's queue-wait triage, which then sheds requests that would
+actually have made their deadlines.  The fluid solver
+(``FluidTracker``) re-converges rates at every flow arrival and
+completion, so its predictions track what max-min sharing actually
+delivers.
+
+This benchmark pins the resulting gap on the multi-tenant scenario —
+identical merged request stream, identical control plane, only the
+ingress pricing model differs:
+
+1. **worst-tenant e2e compliance differs measurably** at the pinned
+   config, in the fluid solver's favor: honest (less pessimistic)
+   upload predictions save requests the snapshot model sheds;
+2. **the fluid run sheds fewer requests** — the snapshot model's
+   over-charging of late-admitted flows shows up directly as spurious
+   sheds;
+3. **the microscopic contract behind the gap**: two overlapping
+   equal-size flows finish asymmetrically under the snapshot model and
+   simultaneously under max-min;
+4. **everything is seed-reproducible** — both pricing models are pure
+   functions of the config, records identical bit for bit.
+
+Also runnable as a script::
+
+    PYTHONPATH=src python benchmarks/bench_fluid_contention.py [--smoke]
+"""
+
+import argparse
+import sys
+from dataclasses import replace
+
+import pytest
+
+from repro.eval import MultiTenantConfig, run_multi_tenant
+from repro.netsim import FluidTracker, Link, SharedIngress, solve_fluid
+from repro.netsim.contention import ContentionTracker
+from repro.netsim.fluid import FlowSpec
+
+#: compliance gap the pinned config must show (points)
+_MARGIN = 0.02
+
+#: the shared uplink is sized so burst-time sharing is wide enough for
+#: the two pricing models to disagree about who makes their deadline
+_CFG = MultiTenantConfig(num_requests=120, ingress_bw_mbps=25.0)
+_SMOKE_CFG = replace(_CFG, num_requests=80, trace_steps=60)
+
+_VARIANT = "fair"
+
+
+def _run_pair(cfg):
+    snap = run_multi_tenant(replace(cfg, fluid=False),
+                            variants=(_VARIANT,))[_VARIANT]
+    fluid = run_multi_tenant(replace(cfg, fluid=True),
+                             variants=(_VARIANT,))[_VARIANT]
+    return snap, fluid
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return _run_pair(_CFG)
+
+
+@pytest.mark.benchmark(group="fluid_contention")
+def test_fluid_pricing_moves_worst_tenant_compliance(pair):
+    """The acceptance headline: a measurable snapshot-vs-fluid gap."""
+    snap, fluid = pair
+    gap = fluid.worst_tenant_compliance - snap.worst_tenant_compliance
+    assert gap >= _MARGIN, (
+        f"fluid worst-tenant {fluid.worst_tenant_compliance:.1%} vs "
+        f"snapshot {snap.worst_tenant_compliance:.1%}: gap {gap:+.1%} "
+        f"below the {_MARGIN:.0%} floor")
+
+
+@pytest.mark.benchmark(group="fluid_contention")
+def test_snapshot_pessimism_sheds_more(pair):
+    """Frozen-share predictions over-estimate queue waits -> spurious
+    sheds the fluid solver does not take."""
+    snap, fluid = pair
+    assert fluid.shed < snap.shed, (
+        f"fluid shed {fluid.shed} not below snapshot shed {snap.shed}")
+
+
+@pytest.mark.benchmark(group="fluid_contention")
+def test_both_models_price_real_contention(pair):
+    for rep in pair:
+        assert rep.tracker.flows_total > 0
+        assert rep.tracker.contended_total > 0
+
+
+@pytest.mark.benchmark(group="fluid_contention")
+def test_overlap_contract_snapshot_asymmetric_fluid_simultaneous():
+    """The microscopic bias the macro gap comes from."""
+    link = Link(bandwidth_mbps=8.0 / 1e6, delay_ms=0.0,
+                rpc_overhead_ms=0.0)  # 1 byte/s wire, no latency
+    ingress = SharedIngress(link, ContentionTracker(), payload_bytes=8.0)
+    first = ingress.admit(0.0)
+    second = ingress.admit(0.0)
+    assert second == 2.0 * first  # snapshot: second pays double forever
+    finishes, _ = solve_fluid(
+        [FlowSpec(((-1, 0),), 0.0, 8.0), FlowSpec(((-1, 0),), 0.0, 8.0)],
+        {(-1, 0): link.bandwidth_bps})
+    assert finishes[0] == finishes[1]  # fluid: simultaneous
+
+
+@pytest.mark.benchmark(group="fluid_contention")
+def test_fluid_run_is_reproducible():
+    """Same config, same records — bit for bit, either pricing model."""
+    cfg = replace(_SMOKE_CFG, fluid=True)
+    a = run_multi_tenant(cfg, variants=(_VARIANT,))[_VARIANT]
+    b = run_multi_tenant(cfg, variants=(_VARIANT,))[_VARIANT]
+    assert a.stats.records == b.stats.records
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Snapshot vs fluid bandwidth sharing on the "
+                    "multi-tenant scenario.")
+    parser.add_argument("--smoke", action="store_true",
+                        help="small smoke configuration (CI)")
+    args = parser.parse_args(argv)
+    cfg = _SMOKE_CFG if args.smoke else _CFG
+    snap, fluid = _run_pair(cfg)
+    print(f"{'model':>10s}{'worst-tenant':>14s}{'e2e':>7s}{'shed':>6s}"
+          f"{'contended':>11s}")
+    for label, rep in (("snapshot", snap), ("fluid", fluid)):
+        print(f"{label:>10s}{rep.worst_tenant_compliance:>14.1%}"
+              f"{rep.e2e_compliance:>7.0%}{rep.shed:>6d}"
+              f"{rep.tracker.contended_total:>11d}")
+    gap = fluid.worst_tenant_compliance - snap.worst_tenant_compliance
+    # smoke runs a shorter stream where the gap's sign can flip; the
+    # smoke claim is "measurably different + fewer sheds", the full
+    # config claims the direction too
+    ok = (abs(gap) >= _MARGIN if args.smoke else gap >= _MARGIN)
+    ok = ok and fluid.shed < snap.shed
+    print(f"\nworst-tenant gap {gap:+.1%}, sheds {snap.shed} -> "
+          f"{fluid.shed} ({'PASS' if ok else 'FAIL'})")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -129,13 +129,37 @@ def _serve(args) -> str:
                                         run_multi_tenant)
 
         tcfg = MultiTenantConfig(tenants=default_tenants(args.tenants),
-                                 seed=args.seed, slo_ms=args.slo_ms)
+                                 seed=args.seed, slo_ms=args.slo_ms,
+                                 fluid=bool(getattr(args, "fluid", False)))
         if args.requests is not None:
             tcfg = replace(tcfg, num_requests=args.requests)
         reports = run_multi_tenant(tcfg)
+        if getattr(args, "json", False):
+            # canonical key order + repr floats: two identical seeded
+            # runs must print byte-identical JSON (CI determinism check)
+            import json
+
+            payload = {
+                "config": {"tenants": args.tenants, "seed": tcfg.seed,
+                           "requests": tcfg.num_requests,
+                           "slo_ms": tcfg.slo_ms, "fluid": tcfg.fluid},
+                "variants": {
+                    name: {
+                        "e2e_compliance": rep.e2e_compliance,
+                        "worst_tenant_compliance":
+                            rep.worst_tenant_compliance,
+                        "tenants": rep.tenant_compliance(),
+                        "shed": rep.shed,
+                        "contended": (rep.tracker.contended_total
+                                      if rep.tracker is not None else None),
+                    } for name, rep in reports.items()},
+            }
+            return json.dumps(payload, sort_keys=True)
         fifo, fair = reports["fifo"], reports["fair"]
+        sharing = "fluid max-min" if tcfg.fluid else "snapshot"
         return (format_multi_tenant(reports)
-                + f"\n\nworst-tenant e2e compliance: fifo "
+                + f"\n\ningress sharing: {sharing}"
+                + f"\nworst-tenant e2e compliance: fifo "
                 f"{fifo.worst_tenant_compliance:.0%} -> fair "
                 f"{fair.worst_tenant_compliance:.0%} "
                 f"(shed {fair.shed})")
@@ -274,9 +298,15 @@ def _links(args) -> str:
     tel = Telemetry()
     space = tiny_space()
     net = Supernet(space, seed=args.seed).eval()
+    tracker = None
+    if getattr(args, "fluid", False):
+        from .netsim import FluidTracker
+
+        tracker = FluidTracker(telemetry=tel)
     cluster = Cluster(
         [rpi4(), desktop_gtx1080(), jetson_class(), rpi4()],
-        NetworkCondition((300.0, 80.0, 25.0), (5.0, 20.0, 40.0)))
+        NetworkCondition((300.0, 80.0, 25.0), (5.0, 20.0, 40.0)),
+        contention=tracker)
     ex = DistributedExecutor(net, cluster, telemetry=tel)
     arch = max_arch(space)
     graph = build_graph(arch, space)
@@ -285,9 +315,17 @@ def _links(args) -> str:
         ex.execute(x, arch, layerwise_split_plan(graph, len(graph) // 2,
                                                  remote=remote))
     ex.execute(x, arch, spatial_plan(graph, Grid(2, 2), [0, 1, 2, 3]))
-    return ("demo: 3 layerwise splits + one 2x2 spatial plan, "
-            "4-device swarm with unequal links\n\n"
-            + format_link_report(link_stats(tel.registry)))
+    report = ("demo: 3 layerwise splits + one 2x2 spatial plan, "
+              "4-device swarm with unequal links\n\n"
+              + format_link_report(link_stats(tel.registry)))
+    if tracker is not None:
+        tracker.drain()  # run in-flight flows to completion for stats
+        s = tracker.stats()
+        report += (f"\n\nfluid solver: {s['flows']:.0f} flows priced, "
+                   f"{s['contended']:.0f} contended, "
+                   f"peak share {s['peak_share']:.0f}, "
+                   f"{s['segments']:.0f} rate segments")
+    return report
 
 
 def _record(args) -> str:
@@ -364,7 +402,8 @@ _COMMANDS = {
               "link-level faults on multi-hop topologies"),
     "serve": (_serve,
               "serving loop under load; --batch N for the batched "
-              "pipeline; --tenants N for multi-tenant fairness"),
+              "pipeline; --tenants N for multi-tenant fairness "
+              "(--fluid for max-min ingress sharing)"),
     "telemetry": (_telemetry,
                   "instrumented serving run: report + JSONL/Prometheus"),
     "links": (_links,
@@ -426,6 +465,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="multi-tenant mode: N tenants share one "
                                 "ingress (first one bursts); compares "
                                 "fifo/admission/fair variants")
+            p.add_argument("--fluid", action="store_true",
+                           help="price the shared ingress with the "
+                                "fluid-flow (max-min) solver instead of "
+                                "the arrival-order snapshot (--tenants)")
+            p.add_argument("--json", action="store_true",
+                           help="print a canonical JSON summary instead "
+                                "of the table (--tenants; byte-stable "
+                                "across identically seeded runs)")
         elif name == "telemetry":
             p.add_argument("--requests", type=int, default=60,
                            help="requests to serve")
@@ -443,6 +490,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                                 "export instead of running the demo")
             p.add_argument("--seed", type=int, default=0,
                            help="seed for the demo's supernet and input")
+            p.add_argument("--fluid", action="store_true",
+                           help="attach the fluid-flow (max-min) solver "
+                                "to the demo cluster and report its "
+                                "pricing stats")
         elif name == "control":
             p.add_argument("--requests", type=int, default=None,
                            help="requests to serve (default 240)")

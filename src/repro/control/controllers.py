@@ -208,7 +208,11 @@ class AdmissionController(Controller):
     + inference) from the snapshot windows; the degraded service cost
     comes from the runtime's own min-strategy estimate.  Per request,
     the server asks :meth:`admit` with the request's arrival and
-    predicted dispatch time (``wait = start - arrival``):
+    predicted dispatch time (``wait = start - arrival``; with a shared
+    ingress attached the wait already includes the upload time the
+    tracker predicted — snapshot fair-share or fluid max-min — so the
+    triage below prices uplink congestion without knowing which model
+    produced it):
 
     * ``wait + full service <= margin x SLO`` -> ``"serve"``: the real
       answer still makes its deadline;

@@ -45,6 +45,7 @@ from ..netsim.topology import NetworkCondition
 from ..netsim.traces import TraceConfig, mobility_trace
 from ..runtime.batching import BatchingInferenceServer, BatchPolicy
 from ..runtime.server import ServingStats
+from ..telemetry.recorder import RunRecorder
 from .serving_load import _PinnedTimeEngine
 
 __all__ = ["AdaptiveConfig", "AdaptiveReport", "burst_arrival_process",
@@ -85,6 +86,8 @@ class AdaptiveReport:
     slo_s: float
     #: the loop steering this variant (None for static)
     control: Optional[ControlLoop] = None
+    #: populated when the run was captured (``record=True``)
+    recorder: Optional[RunRecorder] = None
 
     @property
     def e2e_compliance(self) -> float:
@@ -141,7 +144,7 @@ def default_controllers() -> List:
 
 
 def _make_system(cfg: AdaptiveConfig, control=None,
-                 telemetry=None) -> Murmuration:
+                 telemetry=None, recorder=None) -> Murmuration:
     devices = [rpi4(), desktop_gtx1080(), jetson_class()]
     condition = NetworkCondition((150.0, 80.0), (10.0, 20.0))
     engine = SearchDecisionEngine(MBV3_SPACE, devices,
@@ -152,7 +155,8 @@ def _make_system(cfg: AdaptiveConfig, control=None,
     return Murmuration(MBV3_SPACE, devices, condition, engine,
                        slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
                        monitor_noise=0.02, seed=cfg.seed,
-                       telemetry=telemetry, control=control)
+                       telemetry=telemetry, control=control,
+                       recorder=recorder)
 
 
 def _trace(cfg: AdaptiveConfig):
@@ -163,13 +167,17 @@ def _trace(cfg: AdaptiveConfig):
 
 def run_adaptive(cfg: AdaptiveConfig = AdaptiveConfig(),
                  telemetry=None,
-                 controllers=None) -> Dict[str, AdaptiveReport]:
+                 controllers=None,
+                 record: bool = False) -> Dict[str, AdaptiveReport]:
     """Run both variants on the identical world; keyed by name.
 
     ``telemetry`` (optional) instruments only the controlled variant —
     one registry across both would conflate their counters — and also
     feeds the control loop's snapshot error signal.  ``controllers``
     (optional) overrides :func:`default_controllers` for ablations.
+    ``record=True`` captures each variant into a
+    :class:`~repro.telemetry.recorder.RunRecorder` for byte-stable
+    replay (scenario name ``adaptive``).
     """
     trace = _trace(cfg)
     arrivals = burst_arrival_process(cfg.arrival_rate_hz,
@@ -185,17 +193,25 @@ def run_adaptive(cfg: AdaptiveConfig = AdaptiveConfig(),
                 controllers if controllers is not None
                 else default_controllers(),
                 period_s=cfg.control_period_s, telemetry=tel)
-        system = _make_system(cfg, control=control, telemetry=tel)
+        rec = (RunRecorder("adaptive", variant=name,
+                           config=asdict(cfg)) if record else None)
+        system = _make_system(cfg, control=control, telemetry=tel,
+                              recorder=rec)
         server = BatchingInferenceServer(
             system, arrival_rate_hz=cfg.arrival_rate_hz,
             policy=BatchPolicy(max_batch=cfg.max_batch, overlap=True),
             seed=cfg.seed + 1, telemetry=tel, control=control,
-            arrival_process=arrivals)
+            recorder=rec, arrival_process=arrivals)
         stats = server.run(num_requests=cfg.num_requests,
                            condition_trace=trace,
                            trace_period_s=cfg.trace_period_s)
+        if rec is not None:
+            if tel is not None:
+                rec.capture_timelines(tel.timelines)
+            rec.finish(stats)
         reports[name] = AdaptiveReport(name=name, stats=stats,
-                                       slo_s=slo_s, control=control)
+                                       slo_s=slo_s, control=control,
+                                       recorder=rec)
     return reports
 
 

@@ -43,6 +43,7 @@ from ..core.slo import SLO
 from ..devices.profiles import desktop_gtx1080, jetson_class, rpi4
 from ..nas.search_space import MBV3_SPACE
 from ..netsim.contention import ContentionTracker, SharedIngress
+from ..netsim.fluid import FluidTracker
 from ..netsim.link import Link
 from ..netsim.topology import NetworkCondition
 from ..netsim.traces import TraceConfig, mobility_trace
@@ -113,6 +114,9 @@ class MultiTenantConfig:
     ingress_delay_ms: float = 5.0
     #: False disables the flow tracker: uploads never contend
     contention: bool = True
+    #: True prices the shared ingress with the fluid-flow (max-min)
+    #: solver instead of the arrival-order snapshot tracker
+    fluid: bool = False
 
     def __post_init__(self):
         if not self.tenants:
@@ -249,8 +253,12 @@ def run_multi_tenant(cfg: MultiTenantConfig = MultiTenantConfig(),
         rec = (RunRecorder("multi_tenant", variant=name,
                            config=asdict(cfg)) if record else None)
         control = _variant_control(name, cfg, tel)
-        tracker = ContentionTracker(telemetry=tel) if cfg.contention \
-            else None
+        if not cfg.contention:
+            tracker = None
+        elif cfg.fluid:
+            tracker = FluidTracker(telemetry=tel)
+        else:
+            tracker = ContentionTracker(telemetry=tel)
         ingress = SharedIngress(
             Link(bandwidth_mbps=cfg.ingress_bw_mbps,
                  delay_ms=cfg.ingress_delay_ms),

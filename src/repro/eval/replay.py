@@ -253,6 +253,12 @@ def rerecord(rec: Recording) -> RunRecorder:
         report = run_multi_tenant(tcfg, record=True,
                                   variants=(rec.variant,)
                                   ).get(rec.variant)
+    elif scenario == "adaptive":
+        from .adaptive import AdaptiveConfig, run_adaptive
+        acfg = AdaptiveConfig(
+            **{k: tuple(v) if isinstance(v, list) else v
+               for k, v in config.items()})
+        report = run_adaptive(acfg, record=True).get(rec.variant)
     else:
         raise ValueError(f"cannot re-record unknown scenario {scenario!r}")
     if report is None or report.recorder is None:

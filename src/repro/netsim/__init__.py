@@ -12,6 +12,7 @@ from .grids import (
     validation_conditions,
 )
 from .contention import ContentionTracker, Flow, SharedIngress
+from .fluid import FlowSpec, FluidSegment, FluidTracker, solve_fluid
 from .link import LOOPBACK, Link
 from .mesh import (MeshCluster, MeshLink, RouteInfo, line_topology,
                    partial_mesh_topology, ring_topology)
@@ -22,7 +23,11 @@ from .traces import TraceConfig, mobility_trace, random_walk_trace, step_trace
 __all__ = [
     "ContentionTracker",
     "Flow",
+    "FlowSpec",
+    "FluidSegment",
+    "FluidTracker",
     "SharedIngress",
+    "solve_fluid",
     "Link",
     "LOOPBACK",
     "MeshCluster",

@@ -71,6 +71,11 @@ class ContentionTracker:
     by the number of genuinely concurrent flows.
     """
 
+    #: passive trackers leave pricing to the cluster's inline snapshot
+    #: math; :class:`~repro.netsim.fluid.FluidTracker` flips this and
+    #: clusters delegate the whole computation to ``admit_transfer``.
+    prices_transfers = False
+
     def __init__(self, telemetry: Optional[Telemetry] = None):
         self._flows: Dict[Edge, List[Flow]] = {}
         #: flows ever registered
@@ -202,9 +207,20 @@ class SharedIngress:
             return float(self.per_tenant_bytes[tenant])
         return self.payload_bytes
 
+    def _fluid_args(self, tenant: Optional[str]):
+        nbytes = self._nbytes(tenant)
+        caps = {INGRESS_EDGE: self.link.bandwidth_bps}
+        latency_s = (self.link.delay_ms + self.link.rpc_overhead_ms) / 1e3
+        return nbytes, caps, latency_s, self.link.transfer_time(nbytes)
+
     def upload_time(self, arrival: float,
                     tenant: Optional[str] = None) -> float:
         """Seconds to upload one request payload arriving at ``arrival``."""
+        if getattr(self.tracker, "prices_transfers", False):
+            nbytes, caps, latency_s, base_s = self._fluid_args(tenant)
+            return self.tracker.peek_transfer(
+                (INGRESS_EDGE,), caps, latency_s, nbytes, arrival,
+                tenant=tenant, base_s=base_s)
         nbytes = self._nbytes(tenant)
         share = (self.tracker.share(INGRESS_EDGE, arrival)
                  if self.tracker is not None else 1)
@@ -216,6 +232,11 @@ class SharedIngress:
 
     def admit(self, arrival: float, tenant: Optional[str] = None) -> float:
         """Price the upload and put the flow on the wire."""
+        if getattr(self.tracker, "prices_transfers", False):
+            nbytes, caps, latency_s, base_s = self._fluid_args(tenant)
+            return self.tracker.admit_transfer(
+                (INGRESS_EDGE,), caps, latency_s, nbytes, arrival,
+                tenant=tenant, base_s=base_s)
         upload_s = self.upload_time(arrival, tenant)
         if self.tracker is not None:
             share = self.tracker.share(INGRESS_EDGE, arrival)

@@ -400,6 +400,15 @@ class MeshCluster:
             return self.transfer_time(src, dst, nbytes)
         info = self.route_info(src, dst)
         edges = tuple(_edge(a, b) for a, b in zip(info.path, info.path[1:]))
+        if getattr(tracker, "prices_transfers", False):
+            # fluid solver: delegate the whole pricing computation;
+            # lone flows return base_s verbatim (bit-identity)
+            caps = {_edge(a, b): self._graph.edges[a, b]["bandwidth"] * 1e6
+                    for a, b in zip(info.path, info.path[1:])}
+            latency_s = (info.delay_ms + self.rpc_overhead_ms) / 1e3
+            return tracker.admit_transfer(
+                edges, caps, latency_s, nbytes, now, tenant=tenant,
+                base_s=self.transfer_time(src, dst, nbytes))
         shares = {e: tracker.share(e, now) for e in edges}
         worst = max(shares.values())
         if worst == 1:

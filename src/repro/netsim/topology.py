@@ -139,6 +139,22 @@ class Cluster:
         if tracker is None:
             return self.transfer_time(src, dst, nbytes)
         edges = self._star_edges(src, dst)
+        if getattr(tracker, "prices_transfers", False):
+            # fluid solver: delegate the whole pricing computation;
+            # lone flows return base_s verbatim (bit-identity)
+            if src == 0 or dst == 0:
+                link = self._links[dst if src == 0 else src]
+                caps = {edges[0]: link.bandwidth_bps}
+                latency_s = (link.delay_ms + link.rpc_overhead_ms) / 1e3
+            else:
+                a, b = self._links[src], self._links[dst]
+                caps = {edges[0]: a.bandwidth_bps,
+                        edges[1]: b.bandwidth_bps}
+                latency_s = (a.delay_ms + b.delay_ms
+                             + a.rpc_overhead_ms) / 1e3
+            return tracker.admit_transfer(
+                edges, caps, latency_s, nbytes, now, tenant=tenant,
+                base_s=self.transfer_time(src, dst, nbytes))
         shares = {e: tracker.share(e, now) for e in edges}
         worst = max(shares.values())
         if worst == 1:

@@ -160,8 +160,10 @@ class Transport:
     def _wire_time(self, src: int, dst: int, nbytes: float,
                    now: float) -> float:
         """Transfer time at ``now``: contention-aware when the cluster
-        tracks flows, else the classic un-shared pricing (clusters
-        without ``timed_transfer`` — test doubles — keep working)."""
+        tracks flows (snapshot :class:`ContentionTracker` or fluid
+        max-min :class:`~repro.netsim.fluid.FluidTracker` — the cluster
+        picks), else the classic un-shared pricing (clusters without
+        ``timed_transfer`` — test doubles — keep working)."""
         timed = getattr(self.cluster, "timed_transfer", None)
         if timed is not None:
             return timed(src, dst, nbytes, now, tenant=self.tenant)

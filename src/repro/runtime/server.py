@@ -210,7 +210,12 @@ class InferenceServer:
 
         ``ingress`` (a :class:`~repro.netsim.contention.SharedIngress`)
         models the shared last-mile uplink request payloads cross
-        before service can start; concurrent tenants fair-share it.
+        before service can start; concurrent tenants fair-share it —
+        arrival-order snapshot with a ``ContentionTracker`` attached,
+        event-driven max-min with a
+        :class:`~repro.netsim.fluid.FluidTracker` (either way the
+        fluid/snapshot upload time feeds ``ready`` and therefore the
+        queue-wait prediction the admission controller triages on).
         None keeps serving byte-identical.
         """
         if arrival_rate_hz <= 0:

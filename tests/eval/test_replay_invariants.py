@@ -1,0 +1,151 @@
+"""Cross-suite invariants + the fluid-tracker golden fixture.
+
+Two regression layers ride here:
+
+* **every recordable scenario obeys the serving conservation laws** —
+  ``verify_invariants`` runs over fresh recordings of *all four*
+  scenarios (chaos, mesh_chaos, multi_tenant, adaptive), not just the
+  serving-load golden fixture the original replay suite pins.  Any
+  clock or accounting drift anywhere in the serving stack turns one of
+  these runs into a violation list;
+* **the fluid-solver serving path is byte-stable** — a second golden
+  fixture (``multi_tenant_fluid_golden.jsonl``: the multi-tenant
+  scenario with ``fluid=True``, seed 7, 18 requests) must replay,
+  satisfy the invariants, and re-record byte-identically.
+
+Regenerate the fluid fixture (only after an *intentional* schema or
+pricing change) with::
+
+    PYTHONPATH=src python - <<'PY'
+    from repro.eval.multi_tenant import (MultiTenantConfig,
+                                         default_tenants, run_multi_tenant)
+    from repro.telemetry import write_recordings
+    cfg = MultiTenantConfig(tenants=default_tenants(2), num_requests=18,
+                            seed=7, fluid=True)
+    reports = run_multi_tenant(cfg, record=True)
+    with open("tests/fixtures/multi_tenant_fluid_golden.jsonl", "w") as fh:
+        write_recordings(fh, [reports[v].recorder
+                              for v in ("fifo", "admission", "fair")])
+    PY
+"""
+
+import io
+from pathlib import Path
+
+import pytest
+
+from repro.eval.replay import (load_recordings, replay_stats, rerecord,
+                               verify_invariants)
+from repro.telemetry import write_recordings
+
+FLUID_GOLDEN = Path(__file__).resolve().parents[1] / "fixtures" \
+    / "multi_tenant_fluid_golden.jsonl"
+
+VARIANTS = ["fifo", "admission", "fair"]
+
+
+def _recorders_for(scenario):
+    """Run one small seeded instance of ``scenario``, recording it."""
+    if scenario == "chaos":
+        from repro.eval.chaos import ChaosConfig, run_chaos
+        reports = run_chaos(ChaosConfig(num_requests=14), record=True)
+    elif scenario == "mesh_chaos":
+        from repro.eval.mesh_chaos import MeshChaosConfig, run_mesh_chaos
+        reports = run_mesh_chaos(MeshChaosConfig(num_requests=14),
+                                 record=True)
+    elif scenario == "multi_tenant":
+        from repro.eval.multi_tenant import (MultiTenantConfig,
+                                             run_multi_tenant)
+        reports = run_multi_tenant(
+            MultiTenantConfig(num_requests=14), record=True)
+    elif scenario == "adaptive":
+        from repro.eval.adaptive import AdaptiveConfig, run_adaptive
+        reports = run_adaptive(AdaptiveConfig(num_requests=14),
+                               record=True)
+    else:  # pragma: no cover - parametrization typo guard
+        raise ValueError(scenario)
+    return {name: rep.recorder for name, rep in reports.items()}
+
+
+class TestCrossSuiteInvariants:
+    """Conservation laws hold for every recordable scenario."""
+
+    @pytest.mark.parametrize("scenario", ["chaos", "mesh_chaos",
+                                          "multi_tenant", "adaptive"])
+    def test_scenario_recordings_satisfy_all_invariants(self, scenario):
+        recorders = _recorders_for(scenario)
+        assert recorders  # the scenario produced at least one variant
+        for name, recorder in recorders.items():
+            assert recorder is not None, f"{scenario}/{name} not recorded"
+            rec = recorder.recording()
+            assert rec.scenario == scenario
+            problems = verify_invariants(rec)
+            assert problems == [], f"{scenario}/{name}: {problems}"
+
+    def test_adaptive_recordings_roundtrip_through_the_stream(self):
+        """``record=True`` on run_adaptive yields a parseable stream
+        whose replayed stats match the live run (new capability)."""
+        from repro.eval.adaptive import AdaptiveConfig, run_adaptive
+        reports = run_adaptive(AdaptiveConfig(num_requests=14),
+                               record=True)
+        buf = io.StringIO()
+        write_recordings(buf, [reports[n].recorder
+                               for n in ("static", "controlled")])
+        buf.seek(0)
+        recs = load_recordings(buf)
+        assert [r.variant for r in recs] == ["static", "controlled"]
+        for rec in recs:
+            name = rec.variant
+            assert replay_stats(rec).records == \
+                reports[name].stats.records
+
+    def test_adaptive_rerecord_is_byte_identical(self):
+        from repro.eval.adaptive import AdaptiveConfig, run_adaptive
+        reports = run_adaptive(AdaptiveConfig(num_requests=14),
+                               record=True)
+        original = io.StringIO()
+        write_recordings(original, [reports["controlled"].recorder])
+        fresh = io.StringIO()
+        write_recordings(
+            fresh,
+            [rerecord(reports["controlled"].recorder.recording())])
+        assert fresh.getvalue() == original.getvalue()
+
+
+@pytest.fixture(scope="module")
+def fluid_golden():
+    return load_recordings(str(FLUID_GOLDEN))
+
+
+class TestFluidGoldenFixture:
+    def test_fixture_holds_all_three_variants(self, fluid_golden):
+        assert [rec.variant for rec in fluid_golden] == VARIANTS
+        assert all(rec.scenario == "multi_tenant" for rec in fluid_golden)
+        assert all(rec.config["fluid"] is True for rec in fluid_golden)
+
+    def test_golden_recordings_satisfy_all_invariants(self, fluid_golden):
+        for rec in fluid_golden:
+            problems = verify_invariants(rec)
+            assert problems == [], f"{rec.variant}: {problems}"
+
+    def test_fluid_pricing_left_its_mark(self, fluid_golden):
+        """The fixture is not accidentally a snapshot-tracker run: at
+        least one request's upload was slowed by fluid sharing (its
+        service start exceeds arrival plus the lone-upload time)."""
+        fifo = next(r for r in fluid_golden if r.variant == "fifo")
+        waits = [r["start"] - r["arrival"] for r in fifo.requests]
+        assert max(waits) > 0.0
+
+    def test_rerecording_is_byte_identical(self, fluid_golden):
+        """record -> rerecord byte-stability for the fluid serving path."""
+        with open(FLUID_GOLDEN) as fh:
+            original = fh.read()
+        fresh = io.StringIO()
+        write_recordings(fresh, [rerecord(rec) for rec in fluid_golden])
+        assert fresh.getvalue() == original
+
+    def test_replay_matches_recorded_summary(self, fluid_golden):
+        for rec in fluid_golden:
+            stats = replay_stats(rec)
+            assert len(stats.records) == rec.summary["num_requests"]
+            assert stats.slo_compliance == rec.summary["slo_compliance"]

@@ -1,0 +1,192 @@
+"""Property-based invariant suite for the fluid max-min solver.
+
+Each seed builds a random scenario — a small random link graph with
+random capacities and a handful of flows with random edge sets, start
+times, and payloads — solves it offline with :func:`solve_fluid`, and
+checks the invariants the solver's docstring promises:
+
+* **byte conservation** — per flow, the rate integrated over the
+  recorded piecewise-constant segments equals its payload;
+* **max-min certificate** — in every segment, every active flow
+  crosses a saturated edge on which its rate is maximal, so no flow's
+  rate can increase without decreasing an equal-or-slower flow's;
+* **bottleneck saturation** — a corollary checked independently: every
+  active flow crosses at least one fully-utilized edge in every
+  segment;
+* **order invariance** — permuting the submission order permutes the
+  finish-time list the same way and changes *no float* (exact ``==``);
+* **lone-flow bit-identity** — a flow sharing no edge is priced by
+  returning ``Link.transfer_time``'s float verbatim.
+
+Tier-1 runs ``SMALL_N`` seeds.  The full randomized sweep is the
+``slow``-marked test sized by the ``FLUID_PROPERTY_N`` environment
+variable (seeds ``SMALL_N..FLUID_PROPERTY_N``); unset it no-ops, and a
+dedicated CI step sets it large.
+"""
+
+import itertools
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.netsim.fluid import FlowSpec, FluidTracker, solve_fluid
+from repro.netsim.link import Link
+
+SMALL_N = 20
+FULL_N = int(os.environ.get("FLUID_PROPERTY_N", "0"))
+
+# float dust from accumulating rate*dt across segments
+_REL = 1e-9
+_ABS = 1e-6
+
+
+def random_scenario(seed):
+    """A random link graph + flow set; pure function of the seed."""
+    rng = np.random.default_rng((seed, 42))
+    n_nodes = int(rng.integers(2, 6))
+    all_edges = list(itertools.combinations(range(n_nodes), 2))
+    caps = {e: float(rng.uniform(1e5, 1e8)) for e in all_edges}
+    n_flows = int(rng.integers(1, 9))
+    flows = []
+    for _ in range(n_flows):
+        k = int(rng.integers(1, min(3, len(all_edges)) + 1))
+        idx = rng.choice(len(all_edges), size=k, replace=False)
+        edges = tuple(all_edges[int(i)] for i in sorted(idx))
+        flows.append(FlowSpec(edges=edges,
+                              start=float(rng.uniform(0.0, 2.0)),
+                              nbytes=float(rng.uniform(1e3, 1e7))))
+    return flows, caps, rng
+
+
+def check_conservation(flows, tracker, fids_in_order):
+    """∫ rate dt over the segment trail == nbytes * 8, per flow."""
+    transferred = {}
+    for seg in tracker.segments:
+        for fid, rate in seg.rates.items():
+            transferred[fid] = transferred.get(fid, 0.0) \
+                + rate * seg.duration
+    for i, spec in enumerate(flows):
+        fid = fids_in_order[i]
+        got = transferred.get(fid, 0.0)
+        want = spec.nbytes * 8.0
+        assert math.isclose(got, want, rel_tol=1e-7, abs_tol=_ABS), (
+            f"flow {i}: transferred {got} bits, payload is {want}")
+
+
+def check_max_min_certificate(tracker, caps):
+    """Every active flow is rate-maximal on some saturated edge.
+
+    That is the max-min optimality certificate: raising such a flow's
+    rate would force a decrease on an equal-or-slower flow sharing its
+    saturated edge.  Bottleneck saturation (every flow crosses ≥ 1
+    fully-utilized edge) is the first half of the same check.
+    """
+    for seg in tracker.segments:
+        if not seg.rates:
+            continue
+        load = {}
+        on_edge = {}
+        for fid, rate in seg.rates.items():
+            for e in tracker.flow_spec(fid).edges:
+                load[e] = load.get(e, 0.0) + rate
+                on_edge.setdefault(e, []).append(rate)
+        for fid, rate in seg.rates.items():
+            certified = False
+            for e in tracker.flow_spec(fid).edges:
+                saturated = math.isclose(load[e], caps[e],
+                                         rel_tol=_REL, abs_tol=_ABS)
+                maximal = rate >= max(on_edge[e]) - _ABS
+                if saturated and maximal:
+                    certified = True
+                    break
+            assert certified, (
+                f"segment [{seg.t0}, {seg.t1}): flow {fid} at rate "
+                f"{rate} crosses no saturated edge it is maximal on "
+                f"(loads {load})")
+
+
+def check_bottleneck_saturation(tracker, caps):
+    for seg in tracker.segments:
+        load = {}
+        for fid, rate in seg.rates.items():
+            for e in tracker.flow_spec(fid).edges:
+                load[e] = load.get(e, 0.0) + rate
+        for fid in seg.rates:
+            assert any(
+                math.isclose(load[e], caps[e], rel_tol=_REL, abs_tol=_ABS)
+                for e in tracker.flow_spec(fid).edges), (
+                f"segment [{seg.t0}, {seg.t1}): flow {fid} crosses no "
+                f"fully-utilized edge")
+
+
+def check_order_invariance(flows, caps, finishes, rng):
+    perm = list(rng.permutation(len(flows)))
+    shuffled = [flows[i] for i in perm]
+    fin2, _ = solve_fluid(shuffled, caps, record_segments=False)
+    # exact: the canonical admission order makes the solver run the
+    # identical float operation sequence for any submission order
+    assert fin2 == [finishes[i] for i in perm]
+
+
+def check_basic_sanity(flows, finishes, fids_in_order, tracker):
+    for i, spec in enumerate(flows):
+        assert finishes[i] > spec.start
+        assert tracker.finish_time(fids_in_order[i]) == finishes[i]
+
+
+def run_property_checks(seed):
+    flows, caps, rng = random_scenario(seed)
+    finishes, tracker = solve_fluid(flows, caps)
+    # recover each input flow's id: solve_fluid admits in canonical
+    # order, ids count up from 0 in admission order
+    order = sorted(
+        range(len(flows)),
+        key=lambda i: (flows[i].start, flows[i].edges, flows[i].nbytes,
+                       flows[i].tenant is not None, flows[i].tenant or ""))
+    fids = {}
+    for fid, i in enumerate(order):
+        fids[i] = fid
+    check_basic_sanity(flows, finishes, fids, tracker)
+    check_conservation(flows, tracker, fids)
+    check_max_min_certificate(tracker, caps)
+    check_bottleneck_saturation(tracker, caps)
+    check_order_invariance(flows, caps, finishes, rng)
+
+
+@pytest.mark.parametrize("seed", range(SMALL_N))
+def test_fluid_properties(seed):
+    run_property_checks(seed)
+
+
+@pytest.mark.slow
+def test_fluid_properties_full_sweep():
+    """The big randomized sweep; sized by ``FLUID_PROPERTY_N`` (CI)."""
+    for seed in range(SMALL_N, max(SMALL_N, FULL_N)):
+        run_property_checks(seed)
+
+
+@pytest.mark.parametrize("seed", range(SMALL_N))
+def test_lone_flow_bit_identity(seed):
+    """An uncontended transfer returns ``Link.transfer_time`` verbatim."""
+    rng = np.random.default_rng((seed, 43))
+    link = Link(bandwidth_mbps=float(rng.uniform(1.0, 500.0)),
+                delay_ms=float(rng.uniform(0.1, 80.0)),
+                rpc_overhead_ms=float(rng.uniform(0.0, 5.0)))
+    nbytes = float(rng.uniform(1.0, 1e7))
+    base = link.transfer_time(nbytes)
+    tracker = FluidTracker()
+    latency_s = (link.delay_ms + link.rpc_overhead_ms) / 1e3
+    got = tracker.admit_transfer(((0, 1),), {(0, 1): link.bandwidth_bps},
+                                 latency_s, nbytes,
+                                 float(rng.uniform(0.0, 5.0)),
+                                 base_s=base)
+    assert got == base  # bit-identical, not just close
+
+
+def test_full_sweep_is_marked_slow():
+    """The sweep must carry the marker the CI tier split keys on."""
+    marks = [m.name for m in
+             test_fluid_properties_full_sweep.pytestmark]
+    assert "slow" in marks

@@ -1,0 +1,236 @@
+"""FluidTracker as a drop-in behind the ContentionTracker interface.
+
+Covers the integration contract the fluid solver ships under: clusters
+and the shared ingress delegate pricing when ``prices_transfers`` is
+set, lone flows and ``tracker=None`` builds stay bit-identical to the
+contention-free floats, peeks never move the ledger, and — the
+behavioral contract the bench reports — the snapshot model's
+documented admission-order bias (first flow under-charged, second
+over-charged) disappears under the fluid solver: two overlapping
+equal flows finish *simultaneously*.
+"""
+
+import pytest
+
+from repro.devices import desktop_gtx1080, jetson_class, rpi4
+from repro.netsim import (Cluster, ContentionTracker, FluidTracker, Link,
+                          NetworkCondition, SharedIngress, ring_topology,
+                          solve_fluid)
+from repro.netsim.fluid import FlowSpec
+from repro.telemetry import Telemetry
+
+CAPS = {(0, 1): 100.0}  # 100 bits/s: 12.5 bytes drain in 1 s alone
+
+
+def _devices():
+    return [rpi4(), desktop_gtx1080(), jetson_class()]
+
+
+def _condition():
+    return NetworkCondition((100.0, 50.0), (10.0, 20.0))
+
+
+class TestSnapshotBiasRegression:
+    """The documented snapshot bias, pinned as a behavioral contract."""
+
+    def test_snapshot_finishes_equal_overlapping_flows_asymmetrically(self):
+        link = Link(bandwidth_mbps=8.0 / 1e6, delay_ms=0.0,
+                    rpc_overhead_ms=0.0)  # 8 bits/s: 1 byte/s wire
+        tracker = ContentionTracker()
+        ingress = SharedIngress(link, tracker, payload_bytes=8.0)
+        first = ingress.admit(0.0)
+        second = ingress.admit(0.001)
+        # first keeps the whole wire (its share was frozen at admission),
+        # second pays the halved rate for its entire lifetime
+        assert first == link.transfer_time(8.0)
+        assert second == pytest.approx(2.0 * first)
+        assert 0.0 + first != pytest.approx(0.001 + second)
+
+    def test_fluid_finishes_equal_overlapping_flows_simultaneously(self):
+        fin, _ = solve_fluid([FlowSpec(((0, 1),), 0.0, 12.5),
+                              FlowSpec(((0, 1),), 0.0, 12.5)], CAPS)
+        assert fin[0] == fin[1] == 2.0
+
+    def test_fluid_ledger_reconverges_after_late_arrival(self):
+        # A at t=0, B at t=0.5, both 100 bits on a 100 b/s edge:
+        # A alone 0.5 s (50 bits), shared 1.0 s (50 bits) -> 1.5;
+        # B shared 1.0 s (50 bits), alone 0.5 s -> 2.0.
+        tracker = FluidTracker()
+        a = tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        b = tracker.admit(((0, 1),), CAPS, 0.5, 12.5)
+        times = tracker.finish_times()
+        assert times[a] == 1.5
+        assert times[b] == 2.0
+
+
+class TestDropInBitIdentity:
+    def test_star_lone_transfer_bit_identical(self):
+        plain = Cluster(_devices(), _condition())
+        fluid = Cluster(_devices(), _condition(),
+                        contention=FluidTracker())
+        for src, dst in ((0, 1), (0, 2), (1, 2)):
+            want = plain.transfer_time(src, dst, 1e6)
+            # fresh tracker per pair: each transfer must be lone
+            fluid.contention = FluidTracker()
+            assert fluid.timed_transfer(src, dst, 1e6, 0.0) == want
+
+    def test_mesh_lone_transfer_bit_identical(self):
+        devs = _devices() + [rpi4()]
+        plain = ring_topology(devs, 100.0, 5.0)
+        fluid = ring_topology(devs, 100.0, 5.0)
+        fluid.contention = FluidTracker()
+        assert (fluid.timed_transfer(0, 2, 1e6, 0.0)
+                == plain.transfer_time(0, 2, 1e6))
+
+    def test_ingress_lone_upload_bit_identical(self):
+        link = Link(bandwidth_mbps=40.0, delay_ms=5.0)
+        ingress = SharedIngress(link, FluidTracker(),
+                                payload_bytes=256 * 1024)
+        assert ingress.upload_time(0.0) == link.transfer_time(256 * 1024)
+        assert ingress.admit(0.0) == link.transfer_time(256 * 1024)
+
+    def test_contended_transfers_price_higher_than_base(self):
+        fluid = Cluster(_devices(), _condition(),
+                        contention=FluidTracker())
+        base = fluid.transfer_time(0, 1, 1e6)
+        first = fluid.timed_transfer(0, 1, 1e6, 0.0)
+        second = fluid.timed_transfer(0, 1, 1e6, 1e-3)
+        assert first == base  # lone at admission
+        assert second > base  # shares the spoke with the first
+
+
+class TestPeekNeverMoves:
+    def test_peek_equals_subsequent_admit(self):
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        peek = tracker.peek_transfer(((0, 1),), CAPS, 0.0, 12.5, 0.5)
+        admit = tracker.admit_transfer(((0, 1),), CAPS, 0.0, 12.5, 0.5)
+        assert peek == admit
+
+    def test_peek_leaves_the_ledger_untouched(self):
+        tracker = FluidTracker()
+        fid = tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        before = tracker.finish_time(fid)
+        tracker.peek_transfer(((0, 1),), CAPS, 0.0, 12.5, 0.1)
+        assert tracker.finish_time(fid) == before
+        assert tracker.flows_total == 1
+        assert tracker.stats()["active"] == 1
+
+    def test_concurrency_and_share_are_non_mutating(self):
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        assert tracker.concurrency((0, 1), 0.5) == 1
+        assert tracker.share((0, 1), 0.5) == 2
+        assert tracker.concurrency((0, 1), 10.0) == 0  # drained by then
+        # the queries advanced a clone, never the ledger
+        assert tracker.stats()["active"] == 1
+
+
+class TestLedgerMechanics:
+    def test_out_of_order_admission_clamps_to_ledger_time(self):
+        # demo drivers (links CLI) re-run executions from now=0; the
+        # ledger clock must never run backwards
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 5.0, 12.5)
+        fid = tracker.admit(((0, 1),), CAPS, 1.0, 12.5)
+        assert tracker.flow_spec(fid).start == 5.0
+
+    def test_zero_byte_flow_completes_instantly(self):
+        tracker = FluidTracker()
+        fid = tracker.admit(((0, 1),), CAPS, 1.0, 0.0)
+        assert tracker.finish_time(fid) == 1.0
+        assert tracker.stats()["active"] == 0
+
+    def test_rejects_flow_with_no_edges(self):
+        with pytest.raises(ValueError):
+            FluidTracker().admit((), CAPS, 0.0, 1.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            FluidTracker().admit(((0, 1),), {(0, 1): 0.0}, 0.0, 1.0)
+
+    def test_unknown_flow_id_raises(self):
+        with pytest.raises(KeyError):
+            FluidTracker().finish_time(7)
+
+    def test_edges_canonicalized_like_the_snapshot_tracker(self):
+        tracker = FluidTracker()
+        a = tracker.admit(((1, 0),), {(0, 1): 100.0}, 0.0, 12.5)
+        b = tracker.admit(((0, 1),), {(0, 1): 100.0}, 0.0, 12.5)
+        # both on the same canonical edge: they share it
+        times = tracker.finish_times()
+        assert times[a] == times[b] == 2.0
+
+    def test_drain_completes_everything(self):
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        tracker.admit(((0, 1),), CAPS, 0.5, 12.5)
+        tracker.drain()
+        assert tracker.stats()["active"] == 0
+        assert sorted(tracker.finish_times().values()) == [1.5, 2.0]
+
+
+class TestAccountingParity:
+    """The ContentionTracker accounting surface, fluid edition."""
+
+    def test_counts_flows_contention_and_peak_share(self):
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        tracker.admit(((0, 1),), CAPS, 0.1, 12.5)
+        assert tracker.flows_total == 2
+        assert tracker.contended_total == 1
+        assert tracker.peak_share[(0, 1)] == 2
+
+    def test_tenant_bytes_accumulate(self):
+        tracker = FluidTracker()
+        tracker.admit(((0, 1),), CAPS, 0.0, 10.0, tenant="a")
+        tracker.admit(((0, 1),), CAPS, 0.1, 15.0, tenant="a")
+        tracker.admit(((0, 1),), CAPS, 0.2, 7.0, tenant="b")
+        assert tracker.tenant_bytes() == {"a": 25.0, "b": 7.0}
+
+    def test_telemetry_exports_fluid_metrics(self):
+        tel = Telemetry()
+        tracker = FluidTracker(telemetry=tel)
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5, tenant="a")
+        tracker.admit(((0, 1),), CAPS, 0.5, 12.5, tenant="b")
+        tracker.drain()
+        reg = tel.registry
+        assert reg.get("fluid_flows_total").value == 2
+        assert reg.get("fluid_contended_flows_total").value == 1
+        assert reg.get("fluid_segments_total").value > 0
+        assert reg.get("fluid_flow_reconvergences").count == 2
+        assert reg.get("fluid_tenant_bytes_total", tenant="a").value == 12.5
+
+    def test_peeks_never_touch_telemetry_or_accounting(self):
+        tel = Telemetry()
+        tracker = FluidTracker(telemetry=tel)
+        tracker.admit(((0, 1),), CAPS, 0.0, 12.5)
+        tracker.peek_transfer(((0, 1),), CAPS, 0.0, 12.5, 0.1)
+        assert tracker.flows_total == 1
+        assert tel.registry.get("fluid_flows_total").value == 1
+
+    def test_segment_trail_only_when_asked(self):
+        plain = FluidTracker()
+        trail = FluidTracker(record_segments=True)
+        for t in (plain, trail):
+            t.admit(((0, 1),), CAPS, 0.0, 12.5)
+            t.admit(((0, 1),), CAPS, 0.5, 12.5)
+            t.drain()
+        assert plain.segments == []
+        assert plain.segments_total > 0  # the counter still meters
+        assert [
+            (s.t0, s.t1) for s in trail.segments
+        ] == [(0.0, 0.5), (0.5, 1.5), (1.5, 2.0)]
+
+
+class TestMeshFluidContention:
+    def test_two_routed_paths_contend_on_their_shared_edge(self):
+        devs = [rpi4(), desktop_gtx1080(), jetson_class(), rpi4()]
+        mesh = ring_topology(devs, 100.0, 5.0)
+        mesh.contention = FluidTracker()
+        base = mesh.transfer_time(0, 1, 1e6)
+        first = mesh.timed_transfer(0, 1, 1e6, 0.0)
+        second = mesh.timed_transfer(0, 1, 1e6, 1e-4)
+        assert first == base
+        assert second > base
+        assert mesh.contention.contended_total == 1
