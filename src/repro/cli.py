@@ -133,7 +133,10 @@ def _serve(args) -> str:
                                  fluid=bool(getattr(args, "fluid", False)))
         if args.requests is not None:
             tcfg = replace(tcfg, num_requests=args.requests)
-        reports = run_multi_tenant(tcfg)
+        steps = getattr(args, "mid_flight", None)
+        reports = run_multi_tenant(
+            tcfg, ingress_step_mbps=steps,
+            ingress_step_period_s=getattr(args, "step_period", 1.0))
         if getattr(args, "json", False):
             # canonical key order + repr floats: two identical seeded
             # runs must print byte-identical JSON (CI determinism check)
@@ -143,6 +146,11 @@ def _serve(args) -> str:
                 "config": {"tenants": args.tenants, "seed": tcfg.seed,
                            "requests": tcfg.num_requests,
                            "slo_ms": tcfg.slo_ms, "fluid": tcfg.fluid},
+                # key present only when stepping: the default payload
+                # stays byte-identical to pre-event-core builds
+                **({"mid_flight": {"mbps": list(steps),
+                                   "period_s": args.step_period}}
+                   if steps else {}),
                 "variants": {
                     name: {
                         "e2e_compliance": rep.e2e_compliance,
@@ -157,8 +165,14 @@ def _serve(args) -> str:
             return json.dumps(payload, sort_keys=True)
         fifo, fair = reports["fifo"], reports["fair"]
         sharing = "fluid max-min" if tcfg.fluid else "snapshot"
+        stepping = ""
+        if steps:
+            trace = "->".join(f"{s:g}" for s in steps)
+            stepping = (f"\nmid-flight ingress steps: {trace} Mbps "
+                        f"every {args.step_period:g}s (scheduled events)")
         return (format_multi_tenant(reports)
                 + f"\n\ningress sharing: {sharing}"
+                + stepping
                 + f"\nworst-tenant e2e compliance: fifo "
                 f"{fifo.worst_tenant_compliance:.0%} -> fair "
                 f"{fair.worst_tenant_compliance:.0%} "
@@ -473,6 +487,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                            help="print a canonical JSON summary instead "
                                 "of the table (--tenants; byte-stable "
                                 "across identically seeded runs)")
+            p.add_argument("--mid-flight", type=float, nargs="+",
+                           default=None, metavar="MBPS",
+                           help="step the shared ingress capacity through "
+                                "these Mbps values as scheduled events; "
+                                "in-flight uploads re-converge at each "
+                                "step instant (--tenants)")
+            p.add_argument("--step-period", type=float, default=1.0,
+                           metavar="S",
+                           help="seconds each --mid-flight step holds "
+                                "(default 1.0)")
         elif name == "telemetry":
             p.add_argument("--requests", type=int, default=60,
                            help="requests to serve")

@@ -94,15 +94,29 @@ class ControlLoop:
     period_s : tick cadence in simulated seconds (must be positive).
     telemetry : optional hub; the loop scopes itself under ``control_*``
         and counts ticks, per-controller actions, and admission verdicts.
+    max_catchup : ticks one ``maybe_tick`` call may fire when the clock
+        jumped several periods past the next due tick (an idle gap, a
+        long batch).  The default 1 pins the historical single-fire
+        semantics — missed periods are *skipped*, not replayed — which
+        recorded runs depend on; raise it to catch up (one tick per
+        elapsed period, capped here so a pathological gap cannot stall
+        serving in a tick storm).  Under the event core this knob is
+        moot: :func:`~repro.sim.sources.schedule_control_ticks` fires
+        every period at its true instant.
     """
 
     def __init__(self, controllers: Optional[Sequence] = None,
                  period_s: float = 0.5,
-                 telemetry: Optional[Telemetry] = None):
+                 telemetry: Optional[Telemetry] = None,
+                 max_catchup: int = 1):
         if period_s <= 0:
             raise ValueError(f"period_s must be positive, got {period_s}")
+        if max_catchup < 1:
+            raise ValueError(
+                f"max_catchup must be at least 1, got {max_catchup}")
         self.controllers = list(controllers) if controllers is not None else []
         self.period_s = period_s
+        self.max_catchup = int(max_catchup)
         self.telemetry = telemetry
         self.system = None
         self.server = None
@@ -142,29 +156,40 @@ class ControlLoop:
         give the server-side context when a server drives the loop; a
         facade-only deployment passes neither and controllers see an
         empty request window.
+
+        When ``now`` jumped several periods past the next due tick, up
+        to :attr:`max_catchup` ticks fire back to back (each observing
+        the world at ``now`` — the past is gone, only the cadence is
+        honoured); any periods beyond the cap are skipped and the
+        cadence realigns.  The default cap of 1 is exactly the
+        historical single-fire-per-call behaviour.
         """
         if stats is not None:
             self._stats = stats
         if now < self._next_due:
             return False
-        snap = self._snapshot(now, queue_depth)
-        for controller in self.controllers:
-            description = controller.update(snap, self)
-            if description:
-                self.actions.append(
-                    ControlAction(now, controller.name, description))
-                if self.telemetry is not None:
-                    counter = self._m_actions.get(controller.name)
-                    if counter is None:
-                        counter = self._reg.counter(
-                            "actions_total",
-                            help="controller adjustments applied",
-                            controller=controller.name)
-                        self._m_actions[controller.name] = counter
-                    counter.inc()
-        self.ticks += 1
-        if self.telemetry is not None:
-            self._m_ticks.inc()
+        fired = 0
+        while now >= self._next_due and fired < self.max_catchup:
+            snap = self._snapshot(now, queue_depth)
+            for controller in self.controllers:
+                description = controller.update(snap, self)
+                if description:
+                    self.actions.append(
+                        ControlAction(now, controller.name, description))
+                    if self.telemetry is not None:
+                        counter = self._m_actions.get(controller.name)
+                        if counter is None:
+                            counter = self._reg.counter(
+                                "actions_total",
+                                help="controller adjustments applied",
+                                controller=controller.name)
+                            self._m_actions[controller.name] = counter
+                        counter.inc()
+            self.ticks += 1
+            fired += 1
+            if self.telemetry is not None:
+                self._m_ticks.inc()
+            self._next_due += self.period_s
         while self._next_due <= now:
             self._next_due += self.period_s
         return True

@@ -49,6 +49,7 @@ from ..netsim.monitor import NetworkMonitor
 from ..netsim.topology import Cluster, NetworkCondition
 from ..partition.plan import single_device_plan
 from ..partition.simulate import simulate_latency
+from ..runtime.clock import SimulatedClock
 from ..runtime.executor import DistributedExecutor, ExecutionResult
 from ..runtime.predictor import MonitoringPredictor
 from ..runtime.reconfig import ModelReconfig
@@ -146,7 +147,7 @@ class Murmuration:
                  telemetry: Optional[Telemetry] = None,
                  faults: Optional[FaultInjector] = None,
                  resilience: Optional[ResilienceConfig] = None,
-                 recorder=None, control=None, cluster=None):
+                 recorder=None, control=None, cluster=None, clock=None):
         self.space = space
         if cluster is not None:
             # Caller-built topology (e.g. a MeshCluster): the runtime
@@ -191,7 +192,10 @@ class Murmuration:
         #: requests served over a backup mesh path (plan-only mode;
         #: executable mode counts per delivery in the transport)
         self.path_reroutes = 0
-        self._now = 0.0
+        #: the facade's simulated clock — pass an explicit
+        #: :class:`SimulatedClock` to share time with an
+        #: :class:`~repro.sim.events.EventLoop` (one clock, one world)
+        self.clock = clock if clock is not None else SimulatedClock()
         self._min_strategy: Optional[Strategy] = None
         #: optional ControlLoop retuning the runtime from telemetry
         self.control = control
@@ -237,6 +241,16 @@ class Murmuration:
             self._m_decisions: dict = {}
             # snapshot gauges refresh at export time, not per request
             reg.add_collect_hook(self._sync_cache_metrics)
+
+    @property
+    def _now(self) -> float:
+        """The facade's current simulated time (the shared clock's).
+
+        Read-only: time moves through :attr:`clock` — ``advance`` /
+        ``advance_to`` for the monotone serving path, ``reset`` for the
+        batched overlap rewind — never by assigning a float.
+        """
+        return self.clock.now
 
     # -- control plane -----------------------------------------------------
     def set_slo(self, slo: SLO) -> None:
@@ -435,7 +449,20 @@ class Murmuration:
         contention attribution work end to end.  None changes nothing.
         """
         if now is not None:
-            self._now = now
+            # Servers compute finish = ((start + d) + s) + l while the
+            # clock accumulates start + (d + s + l); the next start can
+            # land a few ulps below the clock.  Tolerate float noise,
+            # reject genuine rewinds.
+            tol = 1e-9 * max(1.0, self.clock.now)
+            if now < self.clock.now - tol:
+                raise ValueError(
+                    f"infer(now={now}) would rewind the simulated clock "
+                    f"from {self.clock.now}; serving time is monotone "
+                    f"(the batched overlap path is the one legitimate "
+                    f"rewind and goes through infer_batch)")
+            # reset, not advance_to: byte-identical to the historical
+            # `self._now = now` assignment within the tolerance window
+            self.clock.reset(now)
         if self.executor is not None:
             self.executor.transport.tenant = tenant
         if self.control is not None and self.control.server is None:
@@ -518,7 +545,7 @@ class Murmuration:
         # advancing by execution latency alone would drift the fault
         # schedule and health cooldowns behind simulated time for every
         # caller that does not pass ``now=`` explicitly.
-        self._now += decision.decision_time_s + switch_time + latency
+        self.clock.advance(decision.decision_time_s + switch_time + latency)
         if self.telemetry is not None:
             self._m_inference_s.observe(latency)
             if switched:
@@ -599,7 +626,13 @@ class Murmuration:
         if request_ids is not None and len(request_ids) != n:
             raise ValueError("request_ids must match the batch size")
         if now is not None:
-            self._now = now
+            # The overlap path legitimately rewinds: batch k+1's
+            # decision starts while batch k still executes, so ``now``
+            # (the decision instant) precedes the clock (batch k's
+            # finish).  Decision starts are monotone across batches, so
+            # this is pipeline time, not a causality violation — hence
+            # the explicit reset instead of advance_to's guard.
+            self.clock.reset(now)
         if self.control is not None and self.control.server is None:
             self.control.maybe_tick(self._now)
         start = self._now
@@ -716,7 +749,7 @@ class Murmuration:
                     self._m_degraded.inc()
                 elif outcome == "failed":
                     self._m_failed.inc()
-        self._now = sim_t
+        self.clock.advance_to(sim_t)
         if self.telemetry is not None and switched:
             self._m_switch_s.observe(switch_time)
         self._drain_health()

@@ -1,0 +1,232 @@
+"""Event-core scenario: boundary-only vs mid-flight world application.
+
+One seeded Poisson request stream uploads fixed payloads over a shared
+last-mile uplink whose capacity follows a step trace (e.g. 40 Mbps
+dropping to 5 Mbps for one cell and back).  The uplink is priced by the
+fluid max-min solver (:class:`~repro.netsim.fluid.FluidTracker`), so
+in-flight uploads *can* re-converge when capacity changes — the
+question is *when* the serving stack lets them see the change:
+
+* ``boundary`` — the historical model: the trace cell is looked up
+  lazily whenever a request touches the ingress
+  (:class:`SteppedIngress`), so a capacity step landing *between*
+  admissions takes effect only at the next admission's boundary time.
+  Flows in flight across the step keep transferring at the stale rate
+  until then.
+* ``event`` — the event core: :func:`~repro.sim.schedule_ingress_trace`
+  schedules one event per trace-cell change on an
+  :class:`~repro.sim.EventLoop` sharing the system's
+  :class:`~repro.runtime.clock.SimulatedClock`; the server drains the
+  loop at every admission instant, so the step fires at its *true*
+  instant and every in-flight upload re-converges right there
+  (:meth:`SharedIngress.set_capacity` ->
+  :meth:`FluidTracker.update_caps`).
+
+Both variants serve the identical arrival stream with pinned decision
+cost, so the compliance/latency gap between them is purely the
+boundary-vs-event semantics — a seed-reproducible number the event-core
+benchmark pins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from ..core.murmuration import Murmuration
+from ..core.decision import SearchDecisionEngine
+from ..core.slo import SLO
+from ..devices.profiles import desktop_gtx1080, rpi4
+from ..nas.search_space import MBV3_SPACE
+from ..netsim.contention import SharedIngress
+from ..netsim.fluid import FluidTracker
+from ..netsim.link import Link
+from ..netsim.topology import NetworkCondition
+from ..netsim.traces import condition_at
+from ..runtime.server import InferenceServer, ServingStats
+from ..sim import EventLoop, schedule_ingress_trace
+from ..telemetry.recorder import RunRecorder
+from .serving_load import _PinnedTimeEngine
+
+__all__ = ["EventCoreConfig", "EventCoreReport", "SteppedIngress",
+           "run_event_core", "format_event_core"]
+
+
+@dataclass(frozen=True)
+class EventCoreConfig:
+    """One boundary-vs-event comparison (simulated seconds unless noted)."""
+
+    num_requests: int = 120
+    slo_ms: float = 800.0
+    seed: int = 0
+    #: fixed per-miss decision cost (None = measure wall clock;
+    #: forfeits byte-reproducibility)
+    decision_time_s: Optional[float] = 0.04
+    arrival_rate_hz: float = 6.0
+    #: request payload crossing the shared ingress
+    payload_kb: float = 512.0
+    #: the uplink's piecewise-constant capacity, one cell per period
+    ingress_trace_mbps: Tuple[float, ...] = (
+        40.0, 40.0, 5.0, 40.0, 40.0, 5.0, 40.0, 40.0)
+    trace_period_s: float = 2.0
+    ingress_delay_ms: float = 5.0
+    n_random_archs: int = 8
+
+    def __post_init__(self):
+        if not self.ingress_trace_mbps:
+            raise ValueError("need at least one ingress trace cell")
+        if any(b <= 0 for b in self.ingress_trace_mbps):
+            raise ValueError(
+                f"trace capacities must be positive, "
+                f"got {self.ingress_trace_mbps}")
+
+    @staticmethod
+    def from_dict(config: Dict[str, Any]) -> "EventCoreConfig":
+        """Rebuild from an ``asdict`` round trip (recording headers)."""
+        cfg = dict(config)
+        trace = cfg.get("ingress_trace_mbps")
+        if trace is not None:
+            cfg["ingress_trace_mbps"] = tuple(trace)
+        return EventCoreConfig(**cfg)
+
+
+class SteppedIngress(SharedIngress):
+    """A shared uplink that applies its capacity trace *lazily*.
+
+    The boundary-only ablation: the trace cell for ``now`` is looked up
+    whenever a request prices or admits an upload, so a capacity step
+    between admissions is invisible until the next request touches the
+    wire — and then takes effect at the boundary time, not the step
+    instant.  The fluid ledger still re-converges in-flight flows when
+    the late-observed capacity finally lands (admissions carry caps),
+    which is exactly the lag the event core removes.
+    """
+
+    def __init__(self, link: Link, tracker, trace_mbps, period_s: float,
+                 **kwargs):
+        super().__init__(link, tracker, **kwargs)
+        self._trace = tuple(float(b) for b in trace_mbps)
+        self._period_s = float(period_s)
+        self._cell = 0
+
+    def _step_to(self, now: float) -> None:
+        idx, bw = condition_at(self._trace, now, self._period_s)
+        if idx != self._cell:
+            self._cell = idx
+            # only the link steps: the ledger learns the new capacity
+            # at the next admission (boundary-only), never mid-flight
+            self.link = self.link.with_conditions(bandwidth_mbps=bw)
+
+    def upload_time(self, arrival: float, tenant=None) -> float:
+        self._step_to(arrival)
+        return super().upload_time(arrival, tenant)
+
+    def admit(self, arrival: float, tenant=None) -> float:
+        self._step_to(arrival)
+        return super().admit(arrival, tenant)
+
+
+@dataclass
+class EventCoreReport:
+    """Per-variant outcome of a boundary-vs-event run."""
+
+    name: str
+    stats: ServingStats
+    slo_s: float
+    tracker: Optional[FluidTracker] = None
+    events: Optional[EventLoop] = None
+    recorder: Optional[RunRecorder] = None
+
+    @property
+    def e2e_compliance(self) -> float:
+        return self.stats.e2e_compliance(self.slo_s)
+
+    @property
+    def p95_ms(self) -> float:
+        return self.stats.percentile_ms(95)
+
+    @property
+    def mean_ms(self) -> float:
+        served = [r for r in self.stats.records if r.outcome != "shed"]
+        if not served:
+            return 0.0
+        return sum(r.end_to_end_s for r in served) / len(served) * 1e3
+
+    @property
+    def caps_updates(self) -> int:
+        return (self.tracker.caps_updates_total
+                if self.tracker is not None else 0)
+
+
+def _make_system(cfg: EventCoreConfig, recorder=None) -> Murmuration:
+    devices = [rpi4(), desktop_gtx1080()]
+    condition = NetworkCondition((150.0,), (10.0,))
+    engine = SearchDecisionEngine(MBV3_SPACE, devices,
+                                  n_random_archs=cfg.n_random_archs,
+                                  seed=cfg.seed)
+    if cfg.decision_time_s is not None:
+        engine = _PinnedTimeEngine(engine, cfg.decision_time_s)
+    return Murmuration(MBV3_SPACE, devices, condition, engine,
+                       slo=SLO.latency_ms(cfg.slo_ms), use_predictor=False,
+                       monitor_noise=0.02, seed=cfg.seed, recorder=recorder)
+
+
+def run_event_core(cfg: EventCoreConfig = EventCoreConfig(),
+                   record: bool = False,
+                   variants: Tuple[str, ...] = ("boundary", "event"),
+                   ) -> Dict[str, EventCoreReport]:
+    """Run the requested variants on the identical world; keyed by name.
+
+    ``record=True`` captures each variant into a
+    :class:`~repro.telemetry.recorder.RunRecorder` (scenario name
+    ``event_core``) for byte-stable replay.
+    """
+    slo_s = cfg.slo_ms / 1e3
+    payload_bytes = cfg.payload_kb * 1024.0
+    link = Link(bandwidth_mbps=cfg.ingress_trace_mbps[0],
+                delay_ms=cfg.ingress_delay_ms)
+    reports: Dict[str, EventCoreReport] = {}
+    for name in variants:
+        rec = (RunRecorder("event_core", variant=name,
+                           config=asdict(cfg)) if record else None)
+        tracker = FluidTracker()
+        loop: Optional[EventLoop] = None
+        system = _make_system(cfg, recorder=rec)
+        if name == "boundary":
+            ingress = SteppedIngress(link, tracker,
+                                     cfg.ingress_trace_mbps,
+                                     cfg.trace_period_s,
+                                     payload_bytes=payload_bytes)
+        elif name == "event":
+            ingress = SharedIngress(link, tracker,
+                                    payload_bytes=payload_bytes)
+            loop = EventLoop(system.clock)
+            schedule_ingress_trace(loop, ingress, cfg.ingress_trace_mbps,
+                                   cfg.trace_period_s)
+        else:
+            raise ValueError(f"unknown variant {name!r}")
+        server = InferenceServer(system,
+                                 arrival_rate_hz=cfg.arrival_rate_hz,
+                                 seed=cfg.seed + 1, recorder=rec,
+                                 ingress=ingress, events=loop)
+        stats = server.run(num_requests=cfg.num_requests)
+        if rec is not None:
+            rec.finish(stats)
+        reports[name] = EventCoreReport(name=name, stats=stats, slo_s=slo_s,
+                                        tracker=tracker, events=loop,
+                                        recorder=rec)
+    return reports
+
+
+def format_event_core(reports: Dict[str, EventCoreReport]) -> str:
+    head = (f"{'variant':>10s}{'e2e':>7s}{'p95 ms':>9s}{'mean ms':>9s}"
+            f"{'caps-upd':>10s}{'events':>8s}")
+    lines = [head]
+    for rep in reports.values():
+        fired = (str(rep.events.fired_total)
+                 if rep.events is not None else "-")
+        lines.append(
+            f"{rep.name:>10s}{rep.e2e_compliance:>7.0%}"
+            f"{rep.p95_ms:>9.0f}{rep.mean_ms:>9.0f}"
+            f"{rep.caps_updates:>10d}{fired:>8s}")
+    return "\n".join(lines)

@@ -31,7 +31,7 @@ byte-stable function of the config.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from ..netsim.link import Link
 from ..netsim.topology import NetworkCondition
 from ..netsim.traces import TraceConfig, mobility_trace
 from ..runtime.server import InferenceServer, ServingStats
+from ..sim import EventLoop, schedule_ingress_trace
 from ..telemetry.recorder import RunRecorder
 from .serving_load import _PinnedTimeEngine
 
@@ -234,6 +235,8 @@ def run_multi_tenant(cfg: MultiTenantConfig = MultiTenantConfig(),
                      telemetry=None, record: bool = False,
                      variants: Tuple[str, ...] = ("fifo", "admission",
                                                   "fair"),
+                     ingress_step_mbps: Optional[Sequence[float]] = None,
+                     ingress_step_period_s: float = 1.0,
                      ) -> Dict[str, MultiTenantReport]:
     """Run the requested variants on the identical world; keyed by name.
 
@@ -242,7 +245,21 @@ def run_multi_tenant(cfg: MultiTenantConfig = MultiTenantConfig(),
     ``record=True`` captures each variant into a
     :class:`~repro.telemetry.recorder.RunRecorder` for byte-stable
     replay (scenario name ``multi_tenant``).
+
+    ``ingress_step_mbps`` (optional) steps the shared uplink's capacity
+    mid-flight: each trace-cell change is scheduled on an
+    :class:`~repro.sim.EventLoop` sharing the system's clock and fires
+    at its true instant, re-converging in-flight fluid uploads
+    (``cfg.fluid=True``).  The steps are run-time inputs, not config —
+    a recording's header cannot reproduce them, so combining with
+    ``record=True`` is rejected.  None (the default) keeps every float
+    byte-identical to the boundary-only build.
     """
+    if ingress_step_mbps is not None and record:
+        raise ValueError(
+            "mid-flight ingress steps are not captured in recording "
+            "headers; record a stepless run or use the event_core "
+            "scenario instead")
     trace = _trace(cfg)
     arrivals, tenants = tenant_arrivals(cfg)
     slo_s = cfg.slo_ms / 1e3
@@ -265,10 +282,15 @@ def run_multi_tenant(cfg: MultiTenantConfig = MultiTenantConfig(),
             tracker, per_tenant_bytes=payload)
         system = _make_system(cfg, control=control, telemetry=tel,
                               recorder=rec)
+        loop = None
+        if ingress_step_mbps is not None:
+            loop = EventLoop(system.clock)
+            schedule_ingress_trace(loop, ingress, ingress_step_mbps,
+                                   ingress_step_period_s)
         server = InferenceServer(
             system, arrival_rate_hz=sum(t.rate_hz for t in cfg.tenants),
             seed=cfg.seed + 1, telemetry=tel, recorder=rec,
-            control=control, ingress=ingress,
+            control=control, ingress=ingress, events=loop,
             arrival_process=lambda rng, n: arrivals)
         stats = server.run(num_requests=cfg.num_requests,
                            condition_trace=trace,

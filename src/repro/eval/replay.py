@@ -253,6 +253,11 @@ def rerecord(rec: Recording) -> RunRecorder:
         report = run_multi_tenant(tcfg, record=True,
                                   variants=(rec.variant,)
                                   ).get(rec.variant)
+    elif scenario == "event_core":
+        from .event_core import EventCoreConfig, run_event_core
+        ecfg = EventCoreConfig.from_dict(config)
+        report = run_event_core(ecfg, record=True,
+                                variants=(rec.variant,)).get(rec.variant)
     elif scenario == "adaptive":
         from .adaptive import AdaptiveConfig, run_adaptive
         acfg = AdaptiveConfig(

@@ -67,6 +67,11 @@ class FaultInjector:
         return out
 
     # -- time -------------------------------------------------------------
+    def transition_times(self) -> Tuple[float, ...]:
+        """The schedule's onset/recovery instants (for the event core:
+        one scheduled world re-application per instant)."""
+        return self.schedule.transition_times()
+
     def advance(self, now: float) -> List[FaultEvent]:
         """Move the injector's clock; returns events that just became
         active (fault onsets) for logging/telemetry."""

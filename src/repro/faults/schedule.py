@@ -305,6 +305,21 @@ class FaultSchedule:
         starts = [e.start for e in self.events]
         return max(ends) if ends else (max(starts) if starts else 0.0)
 
+    def transition_times(self) -> Tuple[float, ...]:
+        """Sorted, deduplicated onset/recovery instants.
+
+        Every ``start`` and every finite ``end`` — the instants at
+        which the schedule's active set (and hence the world overlay)
+        can change.  A :class:`LinkFlap`'s internal up/down bursts are
+        *not* listed: the flap's memoized burst pattern is a property
+        of query time, not a schedulable transition.  The event core
+        schedules one world re-application per listed instant.
+        """
+        times = {float(e.start) for e in self.events}
+        times.update(float(e.end) for e in self.events
+                     if math.isfinite(e.end))
+        return tuple(sorted(times))
+
     # -- point-in-time queries -------------------------------------------
     def active(self, now: float) -> Tuple[FaultEvent, ...]:
         return tuple(e for e in self.events if e.active(now))

@@ -213,6 +213,22 @@ class SharedIngress:
         latency_s = (self.link.delay_ms + self.link.rpc_overhead_ms) / 1e3
         return nbytes, caps, latency_s, self.link.transfer_time(nbytes)
 
+    def set_capacity(self, now: float, bandwidth_mbps: float) -> None:
+        """Step the uplink's true bandwidth at simulated time ``now``.
+
+        Replaces the link (delay and RPC overhead preserved) so every
+        later admission prices against the new capacity; with a fluid
+        tracker attached, every *in-flight* upload re-converges at
+        ``now`` too (:meth:`FluidTracker.update_caps`) — the mid-flight
+        semantics the event core schedules.  A snapshot tracker has no
+        re-convergence surface: its in-flight flows keep their admitted
+        rates, exactly like the boundary-only model.
+        """
+        self.link = self.link.with_conditions(bandwidth_mbps=bandwidth_mbps)
+        if getattr(self.tracker, "prices_transfers", False):
+            self.tracker.update_caps(
+                now, {INGRESS_EDGE: self.link.bandwidth_bps})
+
     def upload_time(self, arrival: float,
                     tenant: Optional[str] = None) -> float:
         """Seconds to upload one request payload arriving at ``arrival``."""

@@ -177,6 +177,8 @@ class FluidTracker:
         self.peak_share: Dict[Edge, int] = {}
         #: piecewise segments advanced (one per rate-constant interval)
         self.segments_total = 0
+        #: mid-flight capacity updates applied (:meth:`update_caps`)
+        self.caps_updates_total = 0
         self._tenant_bytes: Dict[str, float] = {}
         #: clones used for peeks/predictions never touch accounting
         self._ghost = False
@@ -219,6 +221,7 @@ class FluidTracker:
         c.contended_total = 0
         c.peak_share = {}
         c.segments_total = 0
+        c.caps_updates_total = 0
         c._tenant_bytes = {}
         c._ghost = True
         c.telemetry = None
@@ -388,6 +391,34 @@ class FluidTracker:
             self._reconverge()
         self._account(flow, shares)
         return flow.fid
+
+    def update_caps(self, now: float, caps: Mapping[Edge, float]) -> None:
+        """Re-converge every in-flight flow under new edge capacities.
+
+        The mid-flight entry point (the boundary-only model only
+        refreshes capacities when a flow is *admitted*): advance the
+        piecewise ledger to ``now`` — a completion landing exactly at
+        ``now`` is processed *first*, so event ordering at a shared
+        instant is deterministic — then install the new capacities and
+        re-run water-filling, so every active flow's rate re-converges
+        from ``now`` on.  Bytes already transferred are untouched
+        (conservation holds segment by segment); capacities for edges
+        with no active flow are stored for future admissions.  An
+        update in the ledger's past clamps to the ledger's current time,
+        the same rule out-of-order admissions follow.
+        """
+        updates: Dict[Edge, float] = {}
+        for e, cap in caps.items():
+            cap = float(cap)
+            if cap <= 0.0:
+                raise ValueError(
+                    f"edge {e} capacity must be positive, got {cap}")
+            updates[_edge(*e)] = cap
+        self._advance(float(now))
+        self._caps.update(updates)
+        self._reconverge()
+        if not self._ghost:
+            self.caps_updates_total += 1
 
     def _transfer(self, engine: "FluidTracker", edges: Sequence[Edge],
                   caps: Mapping[Edge, float], latency_s: float,

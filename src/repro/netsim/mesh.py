@@ -283,6 +283,29 @@ class MeshCluster:
             "a mesh has per-link state, not a per-remote condition vector; "
             "use set_link_quality() / apply_link_faults() instead")
 
+    def update_fluid_caps(self, now: float, tracker=None) -> bool:
+        """Push the *surviving* edges' current (fault-overlaid)
+        capacities into a fluid tracker so in-flight transfers
+        re-converge at ``now``.
+
+        Same contract as :meth:`Cluster.update_fluid_caps`: call after
+        a link mutation (degradation event, flap transition) changed
+        the overlay; snapshot trackers and ``None`` are a no-op.  Down
+        edges are simply absent — their capacities stay whatever the
+        ledger last saw, which only matters if a flow is still riding
+        a severed edge (the transport layer, not the fluid ledger,
+        decides that flow's fate).
+        """
+        tracker = tracker if tracker is not None else self.contention
+        if not getattr(tracker, "prices_transfers", False):
+            return False
+        caps = {_edge(a, b): data["bandwidth"] * 1e6
+                for a, b, data in self._graph.edges(data=True)}
+        if not caps:
+            return False
+        tracker.update_caps(float(now), caps)
+        return True
+
     # -- routing -----------------------------------------------------------
     def _base_path(self, src: int, dst: int) -> Tuple[int, ...]:
         key = (src, dst)

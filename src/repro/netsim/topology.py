@@ -182,6 +182,27 @@ class Cluster:
         self.condition = condition
         self._rebuild_links()
 
+    def update_fluid_caps(self, now: float, tracker=None) -> bool:
+        """Push the cluster's *current* per-spoke capacities into a
+        fluid tracker so in-flight transfers re-converge at ``now``.
+
+        Call after :meth:`set_condition` (or a fault overlay) changed
+        the links — the event core does this at each condition step.
+        ``tracker`` defaults to the cluster's own; returns True when a
+        re-convergence was issued.  Snapshot trackers and ``None`` are
+        a no-op — their in-flight flows keep admitted rates, which is
+        the boundary-only model, bit-identical to before.
+        """
+        tracker = tracker if tracker is not None else self.contention
+        if not getattr(tracker, "prices_transfers", False):
+            return False
+        caps = {(0, i): self._links[i].bandwidth_bps
+                for i in range(1, self.num_devices)}
+        if not caps:
+            return False
+        tracker.update_caps(float(now), caps)
+        return True
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         names = [d.name for d in self.devices]
         return f"Cluster(devices={names}, condition={self.condition})"

@@ -15,7 +15,28 @@ import numpy as np
 
 from .topology import NetworkCondition
 
-__all__ = ["TraceConfig", "random_walk_trace", "step_trace", "mobility_trace"]
+__all__ = ["TraceConfig", "condition_at", "random_walk_trace",
+           "step_trace", "mobility_trace"]
+
+
+def condition_at(trace, t: float, period_s: float):
+    """The trace cell active at simulated time ``t``.
+
+    The one place the piecewise-constant trace indexing rule lives
+    (it used to be duplicated across the serving loops): cell ``i``
+    covers ``[i * period_s, (i + 1) * period_s)`` and the final cell
+    extends forever — the world holds its last state.  Works for any
+    sequence (conditions, capacities, ...).  Returns
+    ``(index, trace[index])``.
+    """
+    if not trace:
+        raise ValueError("condition_at needs a non-empty trace")
+    if period_s <= 0:
+        raise ValueError(f"period_s must be positive, got {period_s}")
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    idx = min(int(t / period_s), len(trace) - 1)
+    return idx, trace[idx]
 
 
 @dataclass(frozen=True)

@@ -131,10 +131,12 @@ class BatchingInferenceServer(InferenceServer):
     def __init__(self, system, arrival_rate_hz: float,
                  policy: Optional[BatchPolicy] = None, seed: int = 0,
                  telemetry: Optional[Telemetry] = None,
-                 recorder=None, control=None, arrival_process=None):
+                 recorder=None, control=None, arrival_process=None,
+                 events=None):
         super().__init__(system, arrival_rate_hz, seed=seed,
                          telemetry=telemetry, recorder=recorder,
-                         control=control, arrival_process=arrival_process)
+                         control=control, arrival_process=arrival_process,
+                         events=events)
         #: re-read at every batch boundary — a BatchPolicyController may
         #: replace it mid-run
         self.policy = policy if policy is not None else BatchPolicy()
@@ -226,6 +228,10 @@ class BatchingInferenceServer(InferenceServer):
         k = 0
         while i < len(arrivals):
             degraded = False
+            if self.events is not None:
+                # world events due by the batch leader's arrival fire
+                # first (at their own scheduled times)
+                self.events.advance_to(float(arrivals[i]))
             if self.control is not None:
                 self.control.maybe_tick(
                     float(arrivals[i]), stats=stats,
@@ -260,6 +266,11 @@ class BatchingInferenceServer(InferenceServer):
             # close already includes exec_free.
             d_start = max(close, dec_free) if overlap else close
             self._apply_trace(condition_trace, trace_period_s, d_start)
+            if self.events is not None:
+                # events up to the decision instant fire before the
+                # batch's decision observes the world; d_start can lag
+                # the loop after a long batch — the advance clamps
+                self.events.advance_to(d_start)
             with tracer.span("batch", sim_time=d_start, index=k,
                              size=size) as bs:
                 res = self.system.infer_batch(

@@ -33,5 +33,20 @@ class SimulatedClock:
         self._now = t
         return self._now
 
+    def reset(self, t: float) -> float:
+        """Explicitly move the clock to ``t`` — the *only* entry point
+        that may rewind.
+
+        One caller is legitimate: the batched facade's overlap path
+        (:meth:`Murmuration.infer_batch`) starts batch ``k+1``'s
+        decision while batch ``k`` still executes, so its clock restarts
+        at the decision instant, before the previous batch's finish —
+        pipeline time, not a causality violation (decision starts are
+        monotone across batches).  Everything else must go through
+        :meth:`advance` / :meth:`advance_to`, which guard monotonicity.
+        """
+        self._now = float(t)
+        return self._now
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SimulatedClock(now={self._now:.6f})"

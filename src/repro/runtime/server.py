@@ -20,6 +20,7 @@ import numpy as np
 from typing import TYPE_CHECKING
 
 from ..netsim.topology import NetworkCondition
+from ..netsim.traces import condition_at
 from ..telemetry import Telemetry
 from ..telemetry.recorder import RunRecorder
 
@@ -199,7 +200,8 @@ class InferenceServer:
     def __init__(self, system: "Murmuration", arrival_rate_hz: float,
                  seed: int = 0, telemetry: Optional[Telemetry] = None,
                  recorder: Optional[RunRecorder] = None,
-                 control=None, arrival_process=None, ingress=None):
+                 control=None, arrival_process=None, ingress=None,
+                 events=None):
         """``control`` (a :class:`~repro.control.ControlLoop`) lets the
         server drive the control cadence with queue context and consult
         admission per request; None keeps serving byte-identical.
@@ -217,6 +219,15 @@ class InferenceServer:
         fluid/snapshot upload time feeds ``ready`` and therefore the
         queue-wait prediction the admission controller triages on).
         None keeps serving byte-identical.
+
+        ``events`` (a :class:`~repro.sim.events.EventLoop`, ideally
+        sharing the facade's :class:`~repro.runtime.clock
+        .SimulatedClock`) makes the server advance time *through* the
+        loop: every scheduled world event (condition step, fault
+        transition, control tick, capacity update) due at or before
+        each admission instant and each service start fires first, at
+        its own scheduled time.  None — or a loop with nothing
+        scheduled — keeps serving byte-identical.
         """
         if arrival_rate_hz <= 0:
             raise ValueError("arrival rate must be positive")
@@ -228,6 +239,8 @@ class InferenceServer:
         self.control = control
         self.arrival_process = arrival_process
         self.ingress = ingress
+        #: optional EventLoop the serving loop advances through
+        self.events = events
         self._last_trace_idx: Optional[int] = None
         if control is not None:
             control.attach(system=system, server=self)
@@ -265,11 +278,15 @@ class InferenceServer:
 
         Indexed by service start, not arrival: under queueing a request
         executes later than it arrived, and the runtime must see the
-        network as it is then, not a stale snapshot.
+        network as it is then, not a stale snapshot.  This is the
+        boundary-only model — the world changes when a request touches
+        it; schedule the trace on an event loop
+        (:func:`~repro.sim.sources.schedule_condition_trace`) to apply
+        steps at their true instants instead.
         """
         if condition_trace:
-            idx = min(int(start / trace_period_s), len(condition_trace) - 1)
-            condition = condition_trace[idx]
+            idx, condition = condition_at(condition_trace, start,
+                                          trace_period_s)
             self.system.update_condition(condition)
             if self.recorder is not None and idx != self._last_trace_idx:
                 self._last_trace_idx = idx
@@ -378,6 +395,11 @@ class InferenceServer:
         for i, arrival in enumerate(arrivals):
             arrival = float(arrival)
             tenant = self._tenant_of(tenants, i)
+            if self.events is not None:
+                # every world event due by this admission instant fires
+                # first (at its own scheduled time), so the ingress and
+                # the admission peek see the instant's true world
+                self.events.advance_to(arrival)
             ready = arrival
             if self.ingress is not None:
                 # the payload crosses the shared uplink before service
@@ -400,6 +422,10 @@ class InferenceServer:
                 # only admitted requests occupy the uplink
                 self.ingress.admit(arrival, tenant)
             self._apply_trace(condition_trace, trace_period_s, start)
+            if self.events is not None:
+                # events between admission and service start (queueing)
+                # fire before the decision observes the world
+                self.events.advance_to(start)
             with tracer.span("request", sim_time=arrival,
                              request=i) as root:
                 with tracer.span("queue", sim_time=arrival) as qs:

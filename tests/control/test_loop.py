@@ -86,6 +86,51 @@ class TestCadence:
         assert not loop.maybe_tick(2.9)   # realigned to 3.0
         assert loop.maybe_tick(3.0)
 
+    def test_default_long_gap_fires_exactly_once(self):
+        """Regression for the idle-gap semantics: with the default
+        ``max_catchup=1`` a gap spanning many periods fires exactly one
+        tick per maybe_tick call — never a burst — and the controller
+        sees exactly one snapshot at the late now."""
+        rec = _Recorder()
+        loop = ControlLoop([rec], period_s=0.5)
+        assert loop.maybe_tick(10.3)      # missed ~20 periods
+        assert loop.ticks == 1
+        assert len(rec.snapshots) == 1
+        assert rec.snapshots[0].t == 10.3
+        assert not loop.maybe_tick(10.4)  # realigned past now
+        assert loop.maybe_tick(10.5)
+        assert loop.ticks == 2
+
+    def test_max_catchup_runs_one_tick_per_missed_period_capped(self):
+        """Opting into catch-up: a long gap replays up to ``max_catchup``
+        ticks in one call, then realigns the cadence ahead of now."""
+        rec = _Recorder()
+        loop = ControlLoop([rec], period_s=0.5, max_catchup=3)
+        assert loop.maybe_tick(2.7)       # missed 5 periods: 3 ticks
+        assert loop.ticks == 3
+        assert len(rec.snapshots) == 3
+        # every catch-up snapshot is taken at the call's now (stats are
+        # only known as of the call), not at imaginary past instants
+        assert all(s.t == 2.7 for s in rec.snapshots)
+        assert not loop.maybe_tick(2.9)   # realigned to 3.0
+        assert loop.maybe_tick(3.0)
+        assert loop.ticks == 4
+
+    def test_max_catchup_covers_small_gaps_exactly(self):
+        """A gap shorter than the cap catches up one tick per elapsed
+        period, no more."""
+        loop = ControlLoop([_Recorder()], period_s=0.5, max_catchup=10)
+        assert loop.maybe_tick(1.1)       # periods at 0.5 and 1.0
+        assert loop.ticks == 2
+        assert not loop.maybe_tick(1.4)
+        assert loop.maybe_tick(1.5)
+        assert loop.ticks == 3
+
+    @pytest.mark.parametrize("max_catchup", [0, -1])
+    def test_invalid_max_catchup_rejected(self, max_catchup):
+        with pytest.raises(ValueError, match="max_catchup"):
+            ControlLoop([], period_s=0.5, max_catchup=max_catchup)
+
     @pytest.mark.parametrize("period", [0.0, -1.0, -0.5])
     def test_invalid_period_rejected(self, period):
         with pytest.raises(ValueError, match="period_s must be positive"):

@@ -355,6 +355,42 @@ class TestMurmurationFacade:
             before + rec2.decision_time_s + rec2.switch_time_s
             + rec2.latency_s)
 
+    def test_infer_rejects_rewinding_now(self, devices):
+        """Serving time is monotone: an infer(now=...) earlier than the
+        facade's clock is a causality bug, not a clamp."""
+        sys = self._system(devices, use_predictor=False)
+        sys.infer(now=2.0)
+        with pytest.raises(ValueError, match="rewind"):
+            sys.infer(now=1.0)
+
+    def test_infer_tolerates_float_noise_rewinds(self, devices):
+        """Servers sum service segments in a different association order
+        than the clock accumulates them; a few-ulp 'rewind' is float
+        noise and must be absorbed like the historical assignment."""
+        sys = self._system(devices, use_predictor=False)
+        sys.infer(now=1.0)
+        t = sys.clock.now
+        noise = t - t * 1e-12  # well inside tolerance, below t
+        rec = sys.infer(now=noise)
+        assert rec is not None
+
+    def test_facade_shares_an_injected_clock(self, devices):
+        """The event core hands the facade a clock shared with an
+        EventLoop; both sides must see each other's advances."""
+        from repro.runtime.clock import SimulatedClock
+
+        clock = SimulatedClock()
+        cond = NetworkCondition((200.0,), (20.0,))
+        engine = SearchDecisionEngine(MBV3_SPACE, devices)
+        sys = Murmuration(MBV3_SPACE, devices, cond, engine,
+                          slo=SLO.latency(0.3), use_predictor=False,
+                          seed=1, clock=clock)
+        assert sys.clock is clock
+        clock.advance_to(5.0)
+        assert sys._now == 5.0
+        sys.infer(now=6.0)
+        assert clock.now > 6.0  # service time accrued on the shared clock
+
     def test_precompute_does_not_poison_cache_stats(self, devices):
         """Regression: warm-up probes counted as serving misses, so
         core_cache_hit_rate underreported after every precompute."""

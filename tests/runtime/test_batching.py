@@ -244,3 +244,22 @@ class TestFifoParity:
         stats = server.run(num_requests=16)
         assert "batches" in stats.summary()
         assert "amortized" in stats.summary()
+
+
+class TestBatchedEvents:
+    def test_events_fire_before_each_batch_decision(self):
+        from repro.sim import EventLoop
+
+        system = _system()
+        loop = EventLoop(system.clock)
+        fired = []
+        loop.schedule(0.05, fired.append)
+        loop.schedule(0.4, fired.append)
+        server = BatchingInferenceServer(
+            system, arrival_rate_hz=40.0,
+            policy=BatchPolicy(max_batch=4, max_wait_s=0.05), seed=5,
+            events=loop)
+        stats = server.run(num_requests=24)
+        assert fired == [0.05, 0.4]
+        assert loop.pending == 0
+        assert len(stats.records) == 24

@@ -231,3 +231,45 @@ class TestInferenceServer:
         # the world the last request executed in is cell 1, which an
         # arrival-indexed lookup would never have applied
         assert system.cluster.condition == cond_b
+
+
+class TestEventIntegration:
+    """Servers advance time only through the shared event loop."""
+
+    def test_scheduled_events_fire_during_the_run(self):
+        from repro.sim import EventLoop
+
+        system = _system()
+        loop = EventLoop(system.clock)
+        fired = []
+        loop.schedule(0.1, fired.append)
+        loop.schedule(0.5, fired.append)
+        server = InferenceServer(system, arrival_rate_hz=20.0, seed=3,
+                                 events=loop)
+        stats = server.run(num_requests=20)
+        assert fired == [0.1, 0.5]
+        assert loop.pending == 0
+        assert len(stats.records) == 20
+
+    def test_empty_loop_is_byte_identical_to_no_loop(self):
+        """The no-events guarantee at the serving layer: attaching an
+        empty EventLoop must not perturb a single float.  Decision time
+        is pinned — the raw engine measures wall time, which no two
+        runs share."""
+        from repro.eval.serving_load import _PinnedTimeEngine
+        from repro.sim import EventLoop
+
+        def _pinned():
+            system = _system()
+            system.engine = _PinnedTimeEngine(system.engine, 0.01)
+            return system
+
+        plain = InferenceServer(_pinned(), arrival_rate_hz=20.0,
+                                seed=3).run(num_requests=20)
+        system = _pinned()
+        looped = InferenceServer(system, arrival_rate_hz=20.0, seed=3,
+                                 events=EventLoop(system.clock))
+        stats = looped.run(num_requests=20)
+        for a, b in zip(plain.records, stats.records):
+            assert (a.arrival, a.start, a.finish) == \
+                (b.arrival, b.start, b.finish)
