@@ -447,6 +447,14 @@ class Murmuration:
         ``tenant`` tags the request's spans and (in executable mode)
         every transfer it causes, so per-tenant wire accounting and
         contention attribution work end to end.  None changes nothing.
+
+        ``now`` must be monotone (a small float-noise tolerance aside):
+        a value that would rewind the shared clock raises ValueError,
+        where older releases silently accepted any assignment.  A
+        caller that genuinely needs non-monotone serving time — e.g.
+        replaying a shuffled trace — should call
+        ``self.clock.reset(t)`` before each request to opt out of the
+        guard explicitly.
         """
         if now is not None:
             # Servers compute finish = ((start + d) + s) + l while the

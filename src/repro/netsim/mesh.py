@@ -299,8 +299,13 @@ class MeshCluster:
         tracker = tracker if tracker is not None else self.contention
         if not getattr(tracker, "prices_transfers", False):
             return False
+        # A fault overlay may degrade a surviving edge's bandwidth all
+        # the way to 0 without severing it; the fluid ledger rejects
+        # non-positive caps, so such edges keep their last-seen
+        # capacity (same rule as fully severed edges).
         caps = {_edge(a, b): data["bandwidth"] * 1e6
-                for a, b, data in self._graph.edges(data=True)}
+                for a, b, data in self._graph.edges(data=True)
+                if data["bandwidth"] > 0.0}
         if not caps:
             return False
         tracker.update_caps(float(now), caps)

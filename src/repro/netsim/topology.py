@@ -197,7 +197,8 @@ class Cluster:
         if not getattr(tracker, "prices_transfers", False):
             return False
         caps = {(0, i): self._links[i].bandwidth_bps
-                for i in range(1, self.num_devices)}
+                for i in range(1, self.num_devices)
+                if self._links[i].bandwidth_bps > 0.0}
         if not caps:
             return False
         tracker.update_caps(float(now), caps)

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
-from ..netsim.traces import condition_at
 from .events import Event, EventLoop
 
 __all__ = ["PRIORITY_WORLD", "PRIORITY_OBSERVER",
@@ -32,6 +31,21 @@ __all__ = ["PRIORITY_WORLD", "PRIORITY_OBSERVER",
 #: physical world changes fire before observers at a shared instant
 PRIORITY_WORLD = 0
 PRIORITY_OBSERVER = 10
+
+
+def _tick_count(period_s: float, horizon_s: float) -> int:
+    """Largest ``n`` with ``n * period_s <= horizon_s``, float-safe.
+
+    Division alone can land one off in either direction (e.g.
+    ``1.0 / 0.1 == 10.000000000000002``), so nudge the candidate until
+    the defining inequality holds exactly in float.
+    """
+    n = int(horizon_s / period_s)
+    while (n + 1) * period_s <= horizon_s:
+        n += 1
+    while n > 0 and n * period_s > horizon_s:
+        n -= 1
+    return n
 
 
 def _step_times(trace: Sequence, period_s: float) -> List[int]:
@@ -63,8 +77,13 @@ def schedule_condition_trace(loop: EventLoop, system, trace,
     """
     events = []
 
-    def fire(t: float) -> None:
-        idx, condition = condition_at(trace, t, period_s)
+    # The cell is captured per event, not recomputed from the fire
+    # time: int(idx * period_s / period_s) rounds down to idx - 1 for
+    # many (idx, period) pairs (0.7 at idx 3, 0.1 at idx 43, ...),
+    # which would silently re-apply the previous cell and lose the
+    # transition.
+    def fire(t: float, idx: int) -> None:
+        condition = trace[idx]
         system.update_condition(condition)
         cluster = system.cluster
         if hasattr(cluster, "update_fluid_caps"):
@@ -73,7 +92,8 @@ def schedule_condition_trace(loop: EventLoop, system, trace,
             recorder.on_condition(t, idx, condition)
 
     for idx in _step_times(trace, period_s):
-        events.append(loop.schedule(idx * period_s, fire,
+        events.append(loop.schedule(idx * period_s,
+                                    lambda t, i=idx: fire(t, i),
                                     kind="condition-step",
                                     priority=PRIORITY_WORLD))
     return events
@@ -120,14 +140,14 @@ def schedule_control_ticks(loop: EventLoop, control,
     """
     if control is None:
         return []
-    events = []
-    t = control.period_s
-    while t <= horizon_s:
-        events.append(loop.schedule(
-            t, lambda tt: control.maybe_tick(tt),
-            kind="control-tick", priority=PRIORITY_OBSERVER))
-        t += control.period_s
-    return events
+    # k * period_s, not an accumulating t += period_s: accumulation
+    # compounds float error so late ticks drift off true multiples and
+    # the final tick near the horizon can be skipped or duplicated.
+    period_s = control.period_s
+    return [loop.schedule(k * period_s,
+                          lambda tt: control.maybe_tick(tt),
+                          kind="control-tick", priority=PRIORITY_OBSERVER)
+            for k in range(1, _tick_count(period_s, horizon_s) + 1)]
 
 
 def schedule_ingress_trace(loop: EventLoop, ingress,
@@ -141,11 +161,13 @@ def schedule_ingress_trace(loop: EventLoop, ingress,
     mid-flight semantics the boundary-only model can only apply at the
     next admission.
     """
-    def fire(t: float) -> None:
-        _, bw = condition_at(trace_mbps, t, period_s)
-        ingress.set_capacity(t, float(bw))
+    # Same index capture as schedule_condition_trace: recomputing the
+    # cell from the fire time loses transitions to float rounding.
+    def fire(t: float, idx: int) -> None:
+        ingress.set_capacity(t, float(trace_mbps[idx]))
 
-    return [loop.schedule(idx * period_s, fire, kind="ingress-capacity",
+    return [loop.schedule(idx * period_s, lambda t, i=idx: fire(t, i),
+                          kind="ingress-capacity",
                           priority=PRIORITY_WORLD)
             for idx in _step_times(trace_mbps, period_s)]
 
@@ -178,10 +200,6 @@ def schedule_monitor_caps(loop: EventLoop, system, tracker,
         if caps:
             tracker.update_caps(t, caps)
 
-    events = []
-    t = period_s
-    while t <= horizon_s:
-        events.append(loop.schedule(t, fire, kind="monitor-caps",
-                                    priority=PRIORITY_OBSERVER))
-        t += period_s
-    return events
+    return [loop.schedule(k * period_s, fire, kind="monitor-caps",
+                          priority=PRIORITY_OBSERVER)
+            for k in range(1, _tick_count(period_s, horizon_s) + 1)]

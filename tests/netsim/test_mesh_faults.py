@@ -305,6 +305,24 @@ class TestLineTopology:
             mesh.transfer_time(0, 3, 10)
 
 
+class TestFluidCapOverlay:
+    def test_zero_bandwidth_degradation_skips_the_edge(self):
+        """A fault overlay that degrades a surviving link's bandwidth
+        to 0 must not crash the fluid re-convergence (the ledger
+        rejects non-positive caps): the dead-but-present edge keeps its
+        last-seen capacity, like a fully severed edge."""
+        from repro.netsim.fluid import FluidTracker
+        mesh = MeshCluster([rpi4() for _ in range(4)],
+                           [MeshLink(i, (i + 1) % 4, 100.0, 10.0)
+                            for i in range(4)],
+                           contention=FluidTracker())
+        mesh.apply_link_faults(degraded={(0, 1): (0.0, 0.0)})
+        assert mesh.update_fluid_caps(1.0)
+        caps = mesh.contention._caps
+        assert (0, 1) not in caps
+        assert caps[(1, 2)] == pytest.approx(100e6)
+
+
 class TestLinkBreakers:
     def test_link_breaker_opens_and_recovers(self):
         from repro.faults.health import CircuitState, DeviceHealth

@@ -83,6 +83,22 @@ def test_condition_trace_records_steps_at_their_true_instants():
     assert rec.seen == [(0.0, 0, trace[0]), (0.25, 1, trace[1])]
 
 
+def test_condition_step_survives_float_rounded_fire_times():
+    # int((3 * 0.7) / 0.7) == 2: recomputing the cell from the fire
+    # time re-applied the previous cell and lost the transition.  The
+    # scheduled event must carry its own index instead.
+    loop = EventLoop()
+    system = _System()
+    rec = _Recorder()
+    a, b = _Condition(1), _Condition(2)
+    trace = [a, a, a, b]
+    schedule_condition_trace(loop, system, trace, period_s=0.7,
+                             recorder=rec)
+    loop.advance_to(10.0)
+    assert system.conditions == [a, b]
+    assert [(i, c) for _, i, c in rec.seen] == [(0, a), (3, b)]
+
+
 def test_mid_advance_step_applies_at_the_step_instant():
     loop = EventLoop()
     system = _System()
@@ -141,6 +157,17 @@ def test_control_ticks_keep_cadence_through_idle_gaps():
     assert control.ticks == [0.5, 1.0, 1.5, 2.0]
 
 
+def test_control_ticks_land_on_true_multiples_without_drift():
+    # accumulating t += period_s compounds float error: with
+    # period 0.1, horizon 3.0 tick 6 lands off 0.6 and the final tick
+    # at 3.0 is skipped outright.  Ticks must be exact k * period_s.
+    loop = EventLoop()
+    control = _Control(period_s=0.1)
+    events = schedule_control_ticks(loop, control, horizon_s=3.0)
+    assert [e.time for e in events] == [k * 0.1 for k in range(1, 31)]
+    assert events[-1].time == 3.0
+
+
 def test_control_ticks_none_control_is_a_noop():
     loop = EventLoop()
     assert schedule_control_ticks(loop, None, horizon_s=2.0) == []
@@ -163,6 +190,19 @@ def test_ingress_trace_steps_capacity_and_reconverges_fluid():
     assert tracker._caps[INGRESS_EDGE] == 5e6
     loop.advance_to(2.0)
     assert ingress.link.bandwidth_mbps == 40.0
+
+
+def test_ingress_step_survives_float_rounded_fire_times():
+    # same rounding trap as the condition trace: the cell change at
+    # idx 3, period 0.7 fires at 2.0999... which indexes back to cell 2
+    # when recomputed from time — the step must carry its own index.
+    loop = EventLoop()
+    ingress = SharedIngress(Link(bandwidth_mbps=40.0, delay_ms=5.0),
+                            ContentionTracker(), payload_bytes=1024.0)
+    schedule_ingress_trace(loop, ingress, [40.0, 40.0, 40.0, 5.0],
+                           period_s=0.7)
+    loop.advance_to(10.0)
+    assert ingress.link.bandwidth_mbps == 5.0
 
 
 def test_ingress_trace_with_snapshot_tracker_only_steps_the_link():
